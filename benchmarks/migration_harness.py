@@ -1,0 +1,119 @@
+"""Shared harness for the region-migration experiments (Figs 15/16, §7.4).
+
+Reproduces the §7.4 setup at scale: a cache of seven regions hosted on
+one VM serves a steady open-loop workload of 8-byte operations; part
+way through, one / two / four regions migrate to a different VM.  We
+compare throughput during the migration window against the undisturbed
+baseline, with and without the §6.2 optimizations.
+
+Scale note: paper regions are 1 GB (1.09 s each to migrate); ours are
+16 MB (~17 ms) so a full sweep stays within seconds of wall time.  The
+relative throughput drops -- the quantity Figures 15/16 plot -- are
+scale-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Slo
+from repro.core.migration import MigrationPolicy, migrate_regions
+from repro.sim.clock import MS, US
+from repro.workloads.scenarios import build_cluster
+
+REGION_BYTES = 16 << 20
+N_REGIONS = 7
+#: Open-loop offered load, operations per second.
+OFFERED_RATE = 150_000.0
+#: Foreground SLO: a low-latency cache with headroom over the load.
+FOREGROUND_SLO = Slo(max_latency=50e-6, min_throughput=1e6, record_size=8)
+
+BASELINE_WINDOW = (10 * MS, 40 * MS)
+MIGRATION_START = 50 * MS
+
+
+@dataclass(frozen=True)
+class MigrationImpact:
+    """Relative throughput during migration vs the baseline window."""
+
+    regions_migrated: int
+    baseline_rate: float
+    migration_rate: float
+    migration_duration: float
+
+    @property
+    def relative_throughput(self) -> float:
+        return self.migration_rate / self.baseline_rate
+
+    @property
+    def drop(self) -> float:
+        return 1.0 - self.relative_throughput
+
+
+def measure_migration_impact(n_migrate: int, *, is_read: bool,
+                             policy: MigrationPolicy,
+                             seed: int = 21) -> MigrationImpact:
+    """Run one cell of the Figure 15/16 matrix."""
+    harness = build_cluster(seed=seed)
+    env = harness.env
+    client = harness.redy_client(f"mig-app-{n_migrate}-{is_read}")
+    cache = client.create(N_REGIONS * REGION_BYTES, FOREGROUND_SLO,
+                          region_bytes=REGION_BYTES,
+                          migration_policy=policy)
+    assert len(cache.table) == N_REGIONS
+    old_server = cache.allocation.servers[0]
+
+    completions: list[float] = []
+    rng = harness.rngs.stream("mig-load")
+    interarrival = 1.0 / OFFERED_RATE
+    payload = b"12345678"
+
+    def load_generator(env):
+        while True:
+            addr = int(rng.integers(0, N_REGIONS)) * REGION_BYTES \
+                + int(rng.integers(0, REGION_BYTES - 8))
+            if is_read:
+                cache.read(addr, 8,
+                           callback=lambda r: completions.append(env.now))
+            else:
+                cache.write(addr, payload,
+                            callback=lambda r: completions.append(env.now))
+            yield env.timeout(rng.exponential(interarrival))
+
+    migration_state = {}
+
+    def migration_driver(env):
+        yield env.timeout(MIGRATION_START)
+        _vm, new_server = harness.manager.allocate_replacement(
+            cache.allocation, n_migrate)
+        report = yield from migrate_regions(
+            cache, old_server, new_server, list(range(n_migrate)),
+            policy=policy)
+        migration_state["report"] = report
+
+    env.process(load_generator(env), name="mig-load")
+    driver = env.process(migration_driver(env), name="mig-driver")
+    env.run(until=MIGRATION_START)
+    # Run until the migration completes, then a little padding.
+    while not driver.triggered:
+        env.run(until=env.now + 5 * MS)
+    env.run(until=env.now + 2 * MS)
+
+    report = migration_state["report"]
+
+    def rate(window_start: float, window_end: float) -> float:
+        n = sum(1 for t in completions if window_start <= t < window_end)
+        return n / (window_end - window_start)
+
+    return MigrationImpact(
+        regions_migrated=n_migrate,
+        baseline_rate=rate(*BASELINE_WINDOW),
+        migration_rate=rate(report.started_at, report.finished_at),
+        migration_duration=report.duration,
+    )
+
+
+#: The paper's unoptimized baseline: everything affected pauses for the
+#: whole migration.
+UNOPTIMIZED = MigrationPolicy(unpaused_reads=False, pause_per_region=False)
+OPTIMIZED = MigrationPolicy()

@@ -1,0 +1,106 @@
+"""Ablation: what happens when the hardware changes under the model.
+
+§5.2: "The resulting model will remain accurate if the hardware is
+stable, i.e., the NICs and switches.  When hardware changes, the model
+should be updated by repeating the modeling."
+
+We build the performance model on the Azure-HPC profile, then deploy
+its configurations on a *degraded* testbed (economy NIC at 25 Gbit/s,
+slower switches, weaker server CPU).  The stale model's promises break;
+re-running the offline modeling on the new hardware restores SLO
+compliance.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import Slo
+from repro.core.latency import DataPathModel
+from repro.core.modeling import OfflineModeler, make_analytic_measurer
+from repro.core.search import SloSearcher
+from repro.core.space import ConfigSpace
+from repro.hardware import AZURE_HPC
+from repro.hardware.nic import NicSpec
+from repro.hardware.profiles import FabricSpec
+from repro.sim.clock import US
+
+#: The replacement hardware: an economy deployment.  Throughput SLOs are
+#: the vulnerable ones -- Figure 14 shows the search leaves only a slim
+#: margin there -- so the degradation hits the wire, the message rates,
+#: and the server CPU.
+DEGRADED = AZURE_HPC.with_overrides(
+    name="economy",
+    nic=NicSpec(name="economy-nic", line_rate_gbps=25.0,
+                message_rate_mops_per_qp=4.0,
+                message_rate_mops_total=40.0),
+    fabric=FabricSpec(hop_latency=1.5 * US),
+    cpu=dataclasses.replace(AZURE_HPC.cpu,
+                            server_per_op=44.0e-9,
+                            server_contention_per_thread=0.10),
+)
+
+RECORD = 8
+N_SLOS = 60
+
+
+def build_model(profile):
+    space = ConfigSpace(max_client_threads=30, record_size=RECORD,
+                        max_queue_depth=16)
+    measurer = make_analytic_measurer(profile, record_size=RECORD,
+                                      switch_hops=1, noise=0.0)
+    model, _stats = OfflineModeler(space, measurer).build()
+    return model
+
+
+def violation_rate(model, truth_profile):
+    """Search N_SLOS on ``model``; check results on ``truth_profile``."""
+    truth = DataPathModel(truth_profile, switch_hops=1)
+    searcher = SloSearcher.for_model(model)
+    best, worst = model.bounds()
+    rng = np.random.default_rng(23)
+    found = violated = 0
+    for _ in range(N_SLOS):
+        slo = Slo(max_latency=rng.uniform(best.latency, worst.latency),
+                  min_throughput=rng.uniform(worst.throughput,
+                                             best.throughput),
+                  record_size=RECORD)
+        config = searcher.search(slo)
+        if config is None:
+            continue
+        found += 1
+        if not slo.is_satisfied_by(truth.evaluate(config, RECORD)):
+            violated += 1
+    return found, (violated / found if found else 0.0)
+
+
+def run_experiment():
+    stale_model = build_model(AZURE_HPC)
+    fresh_model = build_model(DEGRADED)
+    stale_found, stale_rate = violation_rate(stale_model, DEGRADED)
+    fresh_found, fresh_rate = violation_rate(fresh_model, DEGRADED)
+    control_found, control_rate = violation_rate(stale_model, AZURE_HPC)
+    return {
+        "control (stable hw)": (control_found, control_rate),
+        "stale model": (stale_found, stale_rate),
+        "re-modeled": (fresh_found, fresh_rate),
+    }
+
+
+def test_abl_model_staleness(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [f"{'scenario':>20} {'caches':>7} {'SLO violations':>15} "
+             f"(economy hw: 100->25 Gbit/s, slower switches + CPU)"]
+    for label, (found, rate) in rows.items():
+        lines.append(f"{label:>20} {found:>7} {rate:>14.0%}")
+    lines.append("(§5.2: 'When hardware changes, the model should be "
+                 "updated by repeating the modeling')")
+    report("abl_staleness", "Ablation: model staleness across hardware "
+           "changes", lines)
+
+    # Stable hardware: the model keeps its promises.
+    assert rows["control (stable hw)"][1] < 0.05
+    # Stale model on degraded hardware: widespread violations.
+    assert rows["stale model"][1] > 0.30
+    # Re-running the offline modeling restores compliance.
+    assert rows["re-modeled"][1] < 0.05

@@ -1,0 +1,48 @@
+"""Figure 2: the dynamics of stranding events.
+
+CDF of stranding-event durations.  Paper quartiles: 6 / 13 / 22 minutes
+-- "memory is frequently stranded and unstranded with variable durations
+of minutes to hours".
+"""
+
+import numpy as np
+
+from repro.cluster.stranding import stranding_duration_percentiles
+
+PAPER_QUARTILES_MIN = (6.0, 13.0, 22.0)
+
+
+def run_experiment(trace):
+    p25, p50, p75 = stranding_duration_percentiles(trace)
+    durations_min = trace.stranding_durations_s / 60.0
+    return {
+        "p25": p25, "p50": p50, "p75": p75,
+        "n_events": len(durations_min),
+        "under_1h": float(np.mean(durations_min < 60.0)),
+        "over_5min": float(np.mean(durations_min > 5.0)),
+    }
+
+
+def test_fig02_stranding_durations(benchmark, report, paper_trace):
+    row = benchmark.pedantic(run_experiment, args=(paper_trace,),
+                             rounds=1, iterations=1)
+    lines = [
+        f"stranding events observed: {row['n_events']}",
+        f"{'quartile':>10} {'measured':>10} {'paper':>8}",
+    ]
+    for label, measured, paper in zip(
+            ("p25", "median", "p75"),
+            (row["p25"], row["p50"], row["p75"]),
+            PAPER_QUARTILES_MIN):
+        lines.append(f"{label:>10} {measured:>8.1f}m {paper:>6.0f}m")
+    lines.append(f"fraction of events under 1 hour: {row['under_1h']:.0%}")
+    report("fig02", "Figure 2: stranding-event duration distribution",
+           lines)
+
+    # Shape: minutes-scale quartiles within ~2x of the paper, and the
+    # "minutes to hours" spread.
+    assert 2.0 < row["p25"] < 12.0       # paper 6
+    assert 6.0 < row["p50"] < 28.0       # paper 13
+    assert 11.0 < row["p75"] < 44.0      # paper 22
+    assert row["under_1h"] > 0.8
+    assert row["n_events"] > 1000

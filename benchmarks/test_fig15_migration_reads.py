@@ -1,0 +1,50 @@
+"""Figure 15: the impact of region migration on reads.
+
+Paper: without optimizations, read throughput drops ~15% / 25% / 57%
+when one / two / four of the seven regions migrate; with *unpaused
+reads* it is unaffected regardless of how many regions move.
+"""
+
+from benchmarks.migration_harness import (
+    OPTIMIZED,
+    UNOPTIMIZED,
+    measure_migration_impact,
+)
+
+PAPER_UNOPTIMIZED_DROP = {1: 0.15, 2: 0.25, 4: 0.57}
+
+
+def run_experiment():
+    rows = []
+    for n_migrate in (1, 2, 4):
+        unopt = measure_migration_impact(n_migrate, is_read=True,
+                                         policy=UNOPTIMIZED)
+        opt = measure_migration_impact(n_migrate, is_read=True,
+                                       policy=OPTIMIZED)
+        rows.append((n_migrate, unopt, opt))
+    return rows
+
+
+def test_fig15_migration_impact_on_reads(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [f"{'regions':>8} {'unopt-drop':>11} {'paper':>7} "
+             f"{'unpaused-reads-drop':>20}  (7 x 16MB regions)"]
+    for n_migrate, unopt, opt in rows:
+        lines.append(
+            f"{n_migrate:>8} {unopt.drop:>10.0%} "
+            f"{PAPER_UNOPTIMIZED_DROP[n_migrate]:>6.0%} "
+            f"{opt.drop:>19.0%}")
+    report("fig15", "Figure 15: migration impact on read throughput",
+           lines)
+
+    for n_migrate, unopt, opt in rows:
+        paper = PAPER_UNOPTIMIZED_DROP[n_migrate]
+        # Unoptimized: drop proportional to the migrated fraction,
+        # within +-10 points of the paper's bar.
+        assert abs(unopt.drop - paper) < 0.10, (n_migrate, unopt.drop)
+        # Unpaused reads: "read throughput ... is unaffected by the
+        # migration" -- allow a few points of sampling noise.
+        assert opt.drop < 0.06, (n_migrate, opt.drop)
+    # The drop grows with the number of migrated regions.
+    unopt_drops = [unopt.drop for _n, unopt, _o in rows]
+    assert unopt_drops == sorted(unopt_drops)

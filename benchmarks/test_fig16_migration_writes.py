@@ -1,0 +1,55 @@
+"""Figure 16: the impact of region migration on writes.
+
+Paper: the unoptimized baseline drops ~15% / 25% / 57% for one / two /
+four migrated regions; with *pause-on-migration writes* (regions move
+one at a time, only the moving region pauses) the drop stays at most
+~15% no matter how many regions migrate.
+"""
+
+from benchmarks.migration_harness import (
+    OPTIMIZED,
+    UNOPTIMIZED,
+    measure_migration_impact,
+)
+
+PAPER_UNOPTIMIZED_DROP = {1: 0.15, 2: 0.25, 4: 0.57}
+PAPER_OPTIMIZED_MAX_DROP = 0.15
+
+
+def run_experiment():
+    rows = []
+    for n_migrate in (1, 2, 4):
+        unopt = measure_migration_impact(n_migrate, is_read=False,
+                                         policy=UNOPTIMIZED)
+        opt = measure_migration_impact(n_migrate, is_read=False,
+                                       policy=OPTIMIZED)
+        rows.append((n_migrate, unopt, opt))
+    return rows
+
+
+def test_fig16_migration_impact_on_writes(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [f"{'regions':>8} {'unopt-drop':>11} {'paper':>7} "
+             f"{'pause-on-migration':>19}  (7 x 16MB regions)"]
+    for n_migrate, unopt, opt in rows:
+        lines.append(
+            f"{n_migrate:>8} {unopt.drop:>10.0%} "
+            f"{PAPER_UNOPTIMIZED_DROP[n_migrate]:>6.0%} "
+            f"{opt.drop:>18.0%}")
+    lines.append(f"(paper: optimized drop at most "
+                 f"{PAPER_OPTIMIZED_MAX_DROP:.0%} regardless of count)")
+    report("fig16", "Figure 16: migration impact on write throughput",
+           lines)
+
+    for n_migrate, unopt, opt in rows:
+        paper = PAPER_UNOPTIMIZED_DROP[n_migrate]
+        assert abs(unopt.drop - paper) < 0.10, (n_migrate, unopt.drop)
+        # Pause-on-migration bounds the drop near one region's share
+        # (1/7 ~ 14%), independent of how many regions move.
+        assert opt.drop < PAPER_OPTIMIZED_MAX_DROP + 0.07, (n_migrate,
+                                                            opt.drop)
+    # Optimized drop does NOT grow with the number of migrated regions
+    # the way the unoptimized drop does.
+    opt_drops = [opt.drop for _n, _u, opt in rows]
+    unopt_drops = [unopt.drop for _n, unopt, _o in rows]
+    assert max(opt_drops) < unopt_drops[-1]

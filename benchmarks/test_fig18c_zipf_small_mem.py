@@ -1,0 +1,54 @@
+"""Figure 18c: Zipfian with shrinking local memory.
+
+Paper: "when we decrease the available local memory for caching in
+FASTER ..., both the absolute throughput and the relative difference
+between Redy and other devices become closer to that of the uniform
+distribution" -- less room for the hot set means more device traffic.
+"""
+
+from benchmarks.conftest import faster_point
+
+#: Local memory as a fraction of the database (paper's base is 1/6).
+MEMORY_FRACTIONS = (1 / 6, 1 / 12, 1 / 24)
+THREADS = 4
+
+
+def run_experiment():
+    rows = {}
+    for kind in ("redy", "smb"):
+        rows[kind] = [
+            faster_point(kind, THREADS, distribution="zipfian",
+                         local_memory_fraction=fraction)
+            for fraction in MEMORY_FRACTIONS
+        ]
+    uniform = faster_point("redy", THREADS, distribution="uniform",
+                           local_memory_fraction=MEMORY_FRACTIONS[0])
+    return rows, uniform
+
+
+def test_fig18c_zipfian_small_local_memory(benchmark, report):
+    rows, uniform = benchmark.pedantic(run_experiment, rounds=1,
+                                       iterations=1)
+    labels = [f"db/{round(1 / f)}" for f in MEMORY_FRACTIONS]
+    lines = [f"{'device':>8} " + "".join(f"{lab:>9}" for lab in labels)
+             + f"  (zipf, {THREADS} threads)"]
+    for kind, series in rows.items():
+        lines.append(f"{kind:>8} "
+                     + "".join(f"{r.throughput_mops:>8.2f}M"
+                               for r in series))
+    lines.append(f"redy hit ratios: "
+                 + " ".join(f"{r.memory_hit_fraction:.0%}"
+                            for r in rows["redy"]))
+    lines.append(f"redy uniform baseline (db/6 memory): "
+                 f"{uniform.throughput_mops:.2f}M")
+    report("fig18c", "Figure 18c: Zipfian with reduced local memory",
+           lines)
+
+    redy = [r.throughput for r in rows["redy"]]
+    # Shrinking local memory monotonically hurts Zipfian throughput ...
+    assert redy[0] > redy[1] > redy[2]
+    # ... approaching the uniform figure (within 35% at db/24).
+    assert abs(redy[2] - uniform.throughput) / uniform.throughput < 0.35
+    # Hit ratio decays with memory.
+    hits = [r.memory_hit_fraction for r in rows["redy"]]
+    assert hits[0] > hits[1] > hits[2]

@@ -1,0 +1,67 @@
+"""Figure 19: FASTER with various local memory sizes (uniform, 4 threads).
+
+Paper: with 8 GB local memory everything is served locally at ~5 MOPS;
+spilling the entire log to the device leaves 1.4 MOPS with Redy versus
+0.15 / 0.12 MOPS with SMB Direct / SSD -- a 72% degradation with Redy
+against 97-98% with the alternatives, while "it saves memory cost by
+100%, since it uses stranded memory, which is essentially free".
+"""
+
+from benchmarks.conftest import faster_point
+
+THREADS = 4
+#: Local memory as a fraction of the ~6 GB database: 8 GB (all fits),
+#: then 4 / 2 / 1 GB, then (almost) everything spilled.
+SWEEP = (("8GB", 8 / 6), ("4GB", 4 / 6), ("2GB", 2 / 6), ("1GB", 1 / 6),
+         ("~0", 0.005))
+
+
+def run_experiment():
+    all_memory = faster_point("memory", THREADS, distribution="uniform")
+    rows = {}
+    for kind in ("redy", "smb", "ssd"):
+        rows[kind] = [
+            faster_point(kind, THREADS, distribution="uniform",
+                         local_memory_fraction=fraction)
+            for _label, fraction in SWEEP
+        ]
+    return all_memory, rows
+
+
+def test_fig19_local_memory_sweep(benchmark, report):
+    all_memory, rows = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+    labels = [label for label, _f in SWEEP]
+    lines = [
+        f"all-in-memory reference: {all_memory.throughput_mops:.2f}M "
+        f"(paper: ~5 MOPS)",
+        f"{'device':>8} " + "".join(f"{label:>9}" for label in labels),
+    ]
+    for kind, series in rows.items():
+        lines.append(f"{kind:>8} "
+                     + "".join(f"{r.throughput_mops:>8.2f}M"
+                               for r in series))
+    spilled = {kind: series[-1].throughput for kind, series in rows.items()}
+    degradation = {kind: 1 - tput / all_memory.throughput
+                   for kind, tput in spilled.items()}
+    lines.append(
+        "full-spill degradation vs all-in-memory: "
+        + ", ".join(f"{kind} -{degradation[kind]:.0%}"
+                    for kind in ("redy", "smb", "ssd"))
+        + "   (paper: -72% / -97% / -98%)")
+    report("fig19", "Figure 19: local memory sweep (uniform, 4 threads)",
+           lines)
+
+    # All-in-memory hits the ~5 MOPS class.
+    assert 3.5 < all_memory.throughput_mops < 7.0
+    # Full spill: Redy keeps MOPS-class throughput, the baselines
+    # collapse by >90%.
+    assert spilled["redy"] > 5 * spilled["smb"]
+    assert spilled["redy"] > 15 * spilled["ssd"]
+    assert degradation["redy"] < 0.75
+    assert degradation["smb"] > 0.90
+    assert degradation["ssd"] > 0.95
+    # Less local memory monotonically hurts every device.
+    for kind in rows:
+        tputs = [r.throughput for r in rows[kind]]
+        assert all(a >= b * 0.9 for a, b in zip(tputs, tputs[1:])), kind

@@ -1,0 +1,44 @@
+"""Figure 20: tiered store with various remote cache sizes.
+
+Paper: with 1 GB client local memory, growing the Redy tier from 0 to
+8 GB (where the whole log fits) raises throughput significantly --
+every byte of remote cache converts SSD misses into RDMA hits.
+"""
+
+from benchmarks.conftest import faster_point
+
+THREADS = 4
+#: Redy tier size as a fraction of the ~6 GB database: 0 (pure SSD),
+#: then 2 / 4 / 8 GB.
+SWEEP = (("0GB", None), ("2GB", 2 / 6), ("4GB", 4 / 6), ("8GB", 8 / 6))
+
+
+def run_experiment():
+    series = []
+    for label, fraction in SWEEP:
+        if fraction is None:
+            result = faster_point("ssd", THREADS, distribution="uniform")
+        else:
+            result = faster_point("redy", THREADS, distribution="uniform",
+                                  redy_cache_fraction=fraction)
+        series.append((label, result))
+    return series
+
+
+def test_fig20_remote_cache_size_sweep(benchmark, report):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [f"{'redy tier':>10} {'tput':>9} {'served by':>42}"]
+    for label, result in series:
+        lines.append(f"{label:>10} {result.throughput_mops:>8.2f}M "
+                     f"{str(result.served_by):>42}")
+    report("fig20", "Figure 20: throughput vs remote cache size "
+           "(1 GB local, uniform, 4 threads)", lines)
+
+    tputs = [result.throughput for _label, result in series]
+    # Performance increases significantly as the cache grows.
+    assert all(b > a * 0.98 for a, b in zip(tputs, tputs[1:]))
+    assert tputs[-1] > 5 * tputs[0]
+    # With the full-log cache, the SSD tier is (almost) idle.
+    final = series[-1][1]
+    assert final.served_by.get("ssd", 0) < 0.02 * sum(
+        final.served_by.values())

@@ -1,0 +1,54 @@
+"""§2.1 fleet statistics: unallocated and stranded memory.
+
+The prose numbers the motivation section rests on: "At the median
+(across clusters and time), 46% of memory is unallocated.  The tenth and
+first percentile are 37% and 28%" and "At the median, 8% of memory is
+stranded ... more than 16% stranded at the 90-th percentile and 23%
+stranded at the 99-th percentile", with diurnal peak-to-trough ~2.
+"""
+
+from repro.cluster.stranding import utilization_summary
+
+PAPER = {
+    "unallocated": (0.46, 0.37, 0.28),
+    "stranded": (0.08, 0.16, 0.23),
+    "peak_to_trough": 2.0,
+}
+
+
+def run_experiment(trace):
+    return utilization_summary(trace)
+
+
+def test_sec21_memory_utilization(benchmark, report, paper_trace):
+    summary = benchmark.pedantic(run_experiment, args=(paper_trace,),
+                                 rounds=1, iterations=1)
+    lines = [
+        f"{'metric':>24} {'measured':>9} {'paper':>7}",
+        f"{'unallocated median':>24} {summary.unallocated_median:>8.0%} "
+        f"{PAPER['unallocated'][0]:>6.0%}",
+        f"{'unallocated p10':>24} {summary.unallocated_p10:>8.0%} "
+        f"{PAPER['unallocated'][1]:>6.0%}",
+        f"{'unallocated p1':>24} {summary.unallocated_p1:>8.0%} "
+        f"{PAPER['unallocated'][2]:>6.0%}",
+        f"{'stranded median':>24} {summary.stranded_median:>8.1%} "
+        f"{PAPER['stranded'][0]:>6.0%}",
+        f"{'stranded p90':>24} {summary.stranded_p90:>8.1%} "
+        f"{PAPER['stranded'][1]:>6.0%}",
+        f"{'stranded p99':>24} {summary.stranded_p99:>8.1%} "
+        f"{PAPER['stranded'][2]:>6.0%}",
+        f"{'diurnal peak-to-trough':>24} {summary.peak_to_trough:>8.2f} "
+        f"{PAPER['peak_to_trough']:>6.1f}",
+    ]
+    report("sec21", "§2.1: fleet memory utilization", lines)
+
+    # Unallocated memory is roughly half, with a meaningful lower tail.
+    assert 0.40 < summary.unallocated_median < 0.62
+    assert summary.unallocated_p1 < summary.unallocated_p10 \
+        < summary.unallocated_median
+    # Stranded: median in the high single digits, fat upper tail.
+    assert 0.04 < summary.stranded_median < 0.13
+    assert 0.12 < summary.stranded_p90 < 0.26
+    assert summary.stranded_p99 > summary.stranded_p90
+    # A clear diurnal cycle.
+    assert summary.peak_to_trough > 1.5

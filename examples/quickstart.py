@@ -1,0 +1,64 @@
+"""Quickstart: create an SLO-backed Redy cache, use it, reshape it.
+
+Runs a miniature simulated data center, asks the cache manager for a
+cache with an explicit latency/throughput SLO, and exercises the whole
+Table 1 API: Create, Write, Read, Reshape, Delete.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import Slo
+from repro.sim.clock import US, format_time
+from repro.workloads.scenarios import build_cluster
+
+
+def main() -> None:
+    harness = build_cluster(seed=7)
+    env = harness.env
+    client = harness.redy_client("quickstart-app")
+
+    # --- Create -------------------------------------------------------
+    # 64 MB cache; average latency under 20 us; at least 1 MOPS.
+    slo = Slo(max_latency=20 * US, min_throughput=1e6, record_size=64)
+    cache = client.create(64 << 20, slo, region_bytes=4 << 20)
+    allocation = cache.allocation
+    print(f"cache created: {cache.capacity >> 20} MB over "
+          f"{len(allocation.vms)} VM(s), RDMA config "
+          f"[{allocation.config.describe()}], "
+          f"{allocation.switch_hops} switch hop(s), "
+          f"${allocation.hourly_cost:.3f}/hour")
+
+    # --- Write then read ---------------------------------------------
+    def workload(env):
+        payload = b"The quick brown fox jumps over the lazy dog once..."
+        result = yield cache.write(1 << 20, payload)
+        print(f"write: ok={result.ok} latency={format_time(result.latency)}")
+        result = yield cache.read(1 << 20, len(payload))
+        print(f"read : ok={result.ok} latency={format_time(result.latency)} "
+              f"data={result.data[:19]!r}...")
+        assert result.data == payload
+
+        # Async with callbacks, issued back to back.
+        done = []
+        for i in range(8):
+            cache.write(i * 4096, bytes([i]) * 128,
+                        callback=lambda r: done.append(r.ok))
+        yield env.timeout(200 * US)
+        print(f"burst of 8 async writes: {sum(done)}/8 completed ok")
+
+        # --- Reshape: double the capacity ------------------------------
+        ok = yield cache.reshape(capacity=128 << 20)
+        print(f"reshape to {cache.capacity >> 20} MB: ok={ok}")
+        result = yield cache.read(1 << 20, len(payload))
+        assert result.data == payload, "content must survive a reshape"
+        print("content intact after reshape")
+
+    env.run_process(workload(env), name="quickstart")
+
+    # --- Delete --------------------------------------------------------
+    cache.delete()
+    print(f"cache deleted; VMs in use: {len(harness.allocator.vms)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy (setup.py develop) code path
+via ``--no-use-pep517`` when PEP 517 editable installs are unavailable.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

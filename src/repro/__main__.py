@@ -1,0 +1,108 @@
+"""Command-line entry point: ``python -m repro``.
+
+Convenience launcher for a repository checkout:
+
+* ``python -m repro list`` -- enumerate the reproduction experiments;
+* ``python -m repro run fig03`` -- regenerate one table/figure;
+* ``python -m repro run all`` -- regenerate everything;
+* ``python -m repro examples`` -- list the example applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_BENCHMARKS = _REPO_ROOT / "benchmarks"
+_EXAMPLES = _REPO_ROOT / "examples"
+
+
+def _experiment_ids() -> dict[str, pathlib.Path]:
+    if not _BENCHMARKS.is_dir():
+        return {}
+    experiments = {}
+    for path in sorted(_BENCHMARKS.glob("test_*.py")):
+        identifier = path.stem.removeprefix("test_").split("_")[0]
+        experiments.setdefault(identifier, path)
+        experiments[path.stem.removeprefix("test_")] = path
+    return experiments
+
+
+def _first_doc_line(path: pathlib.Path) -> str:
+    for line in path.read_text().splitlines():
+        stripped = line.strip().strip('"')
+        if stripped and not stripped.startswith("#"):
+            return stripped
+    return ""
+
+
+def cmd_list() -> int:
+    experiments = _experiment_ids()
+    if not experiments:
+        print("no benchmarks/ directory found -- run from a repository "
+              "checkout")
+        return 1
+    seen = set()
+    print(f"{'id':>26}  experiment")
+    for identifier, path in sorted(experiments.items(),
+                                   key=lambda kv: kv[1].stem):
+        if path in seen or "_" in identifier:
+            continue
+        seen.add(path)
+        print(f"{path.stem.removeprefix('test_'):>26}  "
+              f"{_first_doc_line(path)}")
+    return 0
+
+
+def cmd_run(identifier: str) -> int:
+    if identifier == "all":
+        targets = [str(_BENCHMARKS)]
+    else:
+        experiments = _experiment_ids()
+        path = experiments.get(identifier)
+        if path is None:
+            print(f"unknown experiment {identifier!r}; "
+                  f"try `python -m repro list`")
+            return 1
+        targets = [str(path)]
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", *targets,
+         "--benchmark-only", "-q", "-s"])
+
+
+def cmd_examples() -> int:
+    if not _EXAMPLES.is_dir():
+        print("no examples/ directory found")
+        return 1
+    for path in sorted(_EXAMPLES.glob("*.py")):
+        print(f"python examples/{path.name:<28} {_first_doc_line(path)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Redy (VLDB 2021) reproduction launcher")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproduction experiments")
+    run = sub.add_parser("run", help="regenerate one experiment (or all)")
+    run.add_argument("experiment", help="experiment id, e.g. fig03, or all")
+    sub.add_parser("examples", help="list example applications")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "list":
+            return cmd_list()
+        if args.command == "run":
+            return cmd_run(args.experiment)
+        return cmd_examples()
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

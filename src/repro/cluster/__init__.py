@@ -1,0 +1,40 @@
+"""Data-center resource management substrate.
+
+This package provides what Redy's cache manager needs from the cloud
+platform, plus the synthetic cluster-trace study of §2.1:
+
+* :mod:`repro.cluster.vmtypes` -- the VM size menu with full and spot
+  prices;
+* :mod:`repro.cluster.server` -- physical servers with core/memory
+  accounting and the stranded-memory predicate;
+* :mod:`repro.cluster.allocator` -- the cluster VM allocator: placement,
+  spot instances, and reclamation with a 30-120 s early warning;
+* :mod:`repro.cluster.traces` -- a synthetic trace generator calibrated
+  to the paper's §2.1 measurements of Azure Compute clusters;
+* :mod:`repro.cluster.stranding` -- stranding-event detection and the
+  reachable-stranded-memory analysis behind Figures 1 and 2.
+"""
+
+from repro.cluster.allocator import AllocationError, Vm, VmAllocator
+from repro.cluster.prediction import SpotLifetimePredictor
+from repro.cluster.pricing import SpotMarket
+from repro.cluster.server import PhysicalServer
+from repro.cluster.vmtypes import (
+    AZURE_MENU,
+    STRANDING_THRESHOLD_GB,
+    VmType,
+    harvest_vm_type,
+)
+
+__all__ = [
+    "AllocationError",
+    "AZURE_MENU",
+    "PhysicalServer",
+    "STRANDING_THRESHOLD_GB",
+    "SpotLifetimePredictor",
+    "SpotMarket",
+    "Vm",
+    "VmAllocator",
+    "VmType",
+    "harvest_vm_type",
+]

@@ -1,0 +1,69 @@
+"""Physical servers: core/memory accounting and the stranding predicate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cluster.vmtypes import STRANDING_THRESHOLD_GB
+
+__all__ = ["PhysicalServer"]
+
+
+@dataclass
+class PhysicalServer:
+    """One server in the data center.
+
+    Placement coordinates follow the fabric's three-distance topology:
+    same rack = 1 switch, same cluster = 3, different clusters = 5.
+    """
+
+    server_id: int
+    cluster: int
+    rack: int
+    cores: int
+    memory_gb: float
+    allocated_cores: int = 0
+    allocated_memory_gb: float = 0.0
+    #: vm_id -> (cores, memory_gb), for release accounting.
+    vm_footprints: Dict[int, tuple[int, float]] = field(default_factory=dict)
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores - self.allocated_cores
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self.memory_gb - self.allocated_memory_gb
+
+    @property
+    def is_stranded(self) -> bool:
+        """All cores allocated while >= 1 GB of memory sits unallocated
+        (§2.1's definition of a stranding event being in progress)."""
+        return (self.free_cores == 0
+                and self.free_memory_gb >= STRANDING_THRESHOLD_GB)
+
+    @property
+    def stranded_memory_gb(self) -> float:
+        """Memory unusable by this server because its cores are gone."""
+        return self.free_memory_gb if self.is_stranded else 0.0
+
+    def can_host(self, cores: int, memory_gb: float) -> bool:
+        return self.free_cores >= cores and self.free_memory_gb >= memory_gb
+
+    def place(self, vm_id: int, cores: int, memory_gb: float) -> None:
+        if not self.can_host(cores, memory_gb):
+            raise ValueError(
+                f"server {self.server_id} cannot host {cores}c/"
+                f"{memory_gb}GB (free: {self.free_cores}c/"
+                f"{self.free_memory_gb}GB)")
+        if vm_id in self.vm_footprints:
+            raise ValueError(f"vm {vm_id} already on server {self.server_id}")
+        self.allocated_cores += cores
+        self.allocated_memory_gb += memory_gb
+        self.vm_footprints[vm_id] = (cores, memory_gb)
+
+    def evict(self, vm_id: int) -> None:
+        cores, memory_gb = self.vm_footprints.pop(vm_id)
+        self.allocated_cores -= cores
+        self.allocated_memory_gb -= memory_gb

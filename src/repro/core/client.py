@@ -1,0 +1,511 @@
+"""The Redy cache client: the front end applications link against.
+
+:class:`RedyClient` is the per-application entry point; its
+:meth:`~RedyClient.create` implements Table 1's *Create* and returns a
+:class:`RedyCache` -- the "virtual storage device abstraction that
+supports a contiguous byte-addressable address space" of §3.3, with
+asynchronous *Read* / *Write*, *Reshape*, and *Delete*.
+
+The client also owns the robustness machinery of §6.2: it reacts to
+reclamation notices by migrating affected regions to replacement VMs,
+and to hard VM failures by re-provisioning and re-populating from the
+optional backing file.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cluster.allocator import AllocationError
+from repro.core.config import Slo
+from repro.core.engine import CacheDataPath
+from repro.core.manager import CacheAllocation, CacheManager
+from repro.core.migration import MigrationPolicy, migrate_regions
+from repro.core.protocol import EngineOp
+from repro.core.regions import AddressError, RegionTable
+from repro.core.server import CacheServer
+from repro.hardware.profiles import TestbedProfile
+from repro.net.fabric import Fabric, Placement
+from repro.sim.kernel import Environment, Event
+from repro.sim.rng import RngRegistry
+
+__all__ = ["CacheDeletedError", "CacheIoResult", "RedyCache", "RedyClient"]
+
+
+class CacheDeletedError(Exception):
+    """Access to a deleted cache (§3.3: "Any later access to the cache
+    will return an exception")."""
+
+
+@dataclass
+class CacheIoResult:
+    """Outcome of one cache Read or Write."""
+
+    ok: bool
+    data: Optional[bytes] = None
+    error: Optional[str] = None
+    latency: float = 0.0
+
+
+class RedyClient:
+    """Factory for caches, colocated with one application."""
+
+    def __init__(self, env: Environment, profile: TestbedProfile,
+                 fabric: Fabric, manager: CacheManager, rngs: RngRegistry,
+                 name: str = "redy-app",
+                 placement: Placement = Placement()):
+        self.env = env
+        self.profile = profile
+        self.fabric = fabric
+        self.manager = manager
+        self.rngs = rngs
+        self.placement = placement
+        self.endpoint = fabric.add_endpoint(name, placement)
+
+    def create(self, capacity: int, slo: Slo,
+               duration_s: float = math.inf, *,
+               file: Optional[bytes] = None,
+               region_bytes: int = 1 << 30,
+               backed: bool = True,
+               migration_policy: MigrationPolicy = MigrationPolicy(),
+               exclude_servers: Optional[frozenset] = None,
+               harvest: bool = False) -> "RedyCache":
+        """Table 1 *Create*: provision a cache and optionally populate it
+        with a prefix of ``file``.  Raises
+        :class:`~repro.core.manager.SloUnsatisfiableError` (and leaves no
+        state behind) when the request cannot be satisfied.
+        ``exclude_servers`` keeps the cache off given fault domains
+        (used by replication); ``harvest=True`` requests essentially-free
+        stranded memory, accessed one-sided.
+        """
+        allocation = self.manager.allocate(
+            capacity, slo, duration_s, client_placement=self.placement,
+            region_bytes=region_bytes, exclude_servers=exclude_servers,
+            harvest=harvest)
+        cache = RedyCache(self, allocation, slo, region_bytes,
+                          backed=backed, backing_file=file,
+                          migration_policy=migration_policy)
+        if file is not None:
+            cache.populate(file)
+        return cache
+
+
+class RedyCache:
+    """One provisioned cache: a contiguous byte-addressable device."""
+
+    def __init__(self, client: RedyClient, allocation: CacheAllocation,
+                 slo: Slo, region_bytes: int, *, backed: bool,
+                 backing_file: Optional[bytes],
+                 migration_policy: MigrationPolicy):
+        self.env = client.env
+        self.profile = client.profile
+        self.client = client
+        self.manager = client.manager
+        self.allocation = allocation
+        self.slo = slo
+        self.region_bytes = region_bytes
+        self.backed = backed
+        self.backing_file = backing_file
+        self.migration_policy = migration_policy
+        self.deleted = False
+        self.path = CacheDataPath(
+            self.env, self.profile, allocation.config, client.endpoint,
+            client.rngs.stream(f"cache-path-{allocation.allocation_id}"))
+        self.table = RegionTable(self.env, region_bytes)
+        self._attached: set[str] = set()
+        for server in allocation.servers:
+            self._attach_and_map(server)
+        self.manager.on_reclaim_notice(allocation, self._on_reclaim_notice)
+        #: Completed migration reports, for the §7.4 experiments.
+        self.migrations: list = []
+        #: Migrations that lost the race against VM termination.
+        self.migration_failures = 0
+        #: VMs with a migration in flight -- at most one mover per VM,
+        #: whether triggered by a reclaim notice, the lifetime guard, or
+        #: the cost optimizer.
+        self._migrating: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _attach_and_map(self, server: CacheServer) -> None:
+        name = server.endpoint.name
+        n_regions = self.allocation.regions_per_server.get(name, 0)
+        tokens = self.path.attach_server(
+            server, n_regions=n_regions, region_size=self.region_bytes,
+            backed=self.backed)
+        self._attached.add(name)
+        for token in tokens:
+            self.table.append_region(token, name)
+
+    def ensure_attached(self, server: CacheServer) -> None:
+        """Connect to a server without allocating data regions (used by
+        migration, which allocates regions itself)."""
+        if server.endpoint.name not in self._attached:
+            self.path.attach_server(server, n_regions=0,
+                                    region_size=self.region_bytes,
+                                    backed=self.backed)
+            self._attached.add(server.endpoint.name)
+
+    @property
+    def capacity(self) -> int:
+        return self.table.capacity
+
+    def _server_by_name(self, name: str) -> CacheServer:
+        for server in self.allocation.servers:
+            if server.endpoint.name == name:
+                return server
+        raise KeyError(f"no cache server {name!r} in allocation")
+
+    # ------------------------------------------------------------------
+    # Table 1: Read / Write
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int,
+             callback: Optional[Callable[[CacheIoResult], None]] = None
+             ) -> Event:
+        """Asynchronous read; the returned event fires with a
+        :class:`CacheIoResult` whose ``data`` holds ``size`` bytes."""
+        return self._start_io(True, addr, size, None, callback)
+
+    def write(self, addr: int, data: bytes,
+              callback: Optional[Callable[[CacheIoResult], None]] = None
+              ) -> Event:
+        """Asynchronous write of ``data`` at ``addr``."""
+        return self._start_io(False, addr, len(data), data, callback)
+
+    def _start_io(self, is_read: bool, addr: int, size: int,
+                  data: Optional[bytes],
+                  callback: Optional[Callable]) -> Event:
+        if self.deleted:
+            raise CacheDeletedError("cache was deleted")
+        done = self.env.event()
+        if callback is not None:
+            done._add_callback(lambda event: callback(event.value))
+        self.env.process(self._io(is_read, addr, size, data, done),
+                         name=f"redy-io-{'r' if is_read else 'w'}@{addr}")
+        return done
+
+    def _io(self, is_read: bool, addr: int, size: int,
+            data: Optional[bytes], done: Event):
+        start = self.env.now
+        try:
+            fragments = self.table.translate(addr, size)
+        except AddressError as exc:
+            done.succeed(CacheIoResult(ok=False, error=str(exc)))
+            return
+        ops: list[tuple] = []
+        for fragment in fragments:
+            gate = (self.table.read_gate(fragment.region_index) if is_read
+                    else self.table.write_gate(fragment.region_index))
+            if gate is not None:
+                yield gate  # §6.2: paused until the region migrates
+            # Re-resolve the mapping: it may have flipped while we waited.
+            mapping = self.table.region(fragment.region_index)
+            payload = None
+            if data is not None:
+                payload = data[fragment.buffer_offset:
+                               fragment.buffer_offset + fragment.length]
+            op = EngineOp(
+                is_read=is_read, size=fragment.length, token=mapping.token,
+                offset=fragment.offset, data=payload,
+                completion=self.env.event())
+            yield self.env.timeout(self.path.submission_overhead())
+            yield self.path.submit(op)
+            ops.append((fragment, op))
+        results = yield self.env.all_of([op.completion for _f, op in ops])
+
+        failures = [r for r in results if not r.ok]
+        if failures:
+            done.succeed(CacheIoResult(
+                ok=False, error=failures[0].error,
+                latency=self.env.now - start))
+            return
+        payload = None
+        if is_read:
+            buffer = bytearray(size)
+            for (fragment, _op), result in zip(ops, results):
+                if result.data is not None:
+                    buffer[fragment.buffer_offset:
+                           fragment.buffer_offset + fragment.length] = \
+                        result.data
+            payload = bytes(buffer)
+        done.succeed(CacheIoResult(ok=True, data=payload,
+                                   latency=self.env.now - start))
+
+    def populate(self, file: bytes) -> None:
+        """Synchronously load a prefix of ``file`` (Create's file param).
+
+        Runs outside simulated time: initial population is part of cache
+        construction, not of the measured workload.
+        """
+        self.load(0, file[:min(len(file), self.capacity)])
+
+    def load(self, addr: int, data: bytes) -> None:
+        """Zero-time bulk write, bypassing the data path.
+
+        Simulation bootstrap only (population from *Create*'s file
+        parameter, hybrid-log spills during benchmark setup) -- it is
+        not part of the Table 1 API.
+        """
+        for fragment in self.table.translate(addr, len(data)):
+            server = self._server_by_name(
+                self.table.region(fragment.region_index).server_name)
+            region = server.regions.get(fragment.token.region_id)
+            if region is not None:
+                region.local_write(
+                    fragment.offset,
+                    data[fragment.buffer_offset:
+                         fragment.buffer_offset + fragment.length])
+
+    # ------------------------------------------------------------------
+    # Table 1: Reshape / Delete
+    # ------------------------------------------------------------------
+
+    def reshape(self, capacity: Optional[int] = None,
+                slo: Optional[Slo] = None) -> Event:
+        """Table 1 *Reshape*: change capacity and/or SLO (§3.3).
+
+        Returns an event that fires with True on success; on failure the
+        event fails with the underlying exception and the cache is
+        unchanged.
+        """
+        if self.deleted:
+            raise CacheDeletedError("cache was deleted")
+        done = self.env.event()
+        self.env.process(self._reshape(capacity, slo, done),
+                         name="redy-reshape")
+        return done
+
+    def _reshape(self, capacity: Optional[int], slo: Optional[Slo],
+                 done: Event):
+        target_capacity = capacity if capacity is not None else self.capacity
+        try:
+            if slo is not None and slo != self.slo:
+                yield from self._reshape_slo(target_capacity, slo)
+            elif target_capacity < self.capacity:
+                self._shrink(target_capacity)
+            elif target_capacity > self.capacity:
+                yield from self._grow(target_capacity)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            done.fail(exc)
+            return
+        done.succeed(True)
+
+    def _reshape_slo(self, capacity: int, slo: Slo):
+        """SLO change: allocate a new cache, migrate, drop the old one."""
+        new_allocation = self.manager.allocate(
+            capacity, slo, client_placement=self.client.placement,
+            region_bytes=self.region_bytes)
+        new_cache = RedyCache(self.client, new_allocation, slo,
+                              self.region_bytes, backed=self.backed,
+                              backing_file=self.backing_file,
+                              migration_policy=self.migration_policy)
+        # Copy content region by region through the client.
+        if self.backed:
+            for index in range(min(len(self.table), len(new_cache.table))):
+                result = yield self.read(index * self.region_bytes,
+                                         self.region_bytes)
+                if result.ok and result.data is not None:
+                    yield new_cache.write(index * self.region_bytes,
+                                          result.data)
+        old_allocation = self.allocation
+        self.manager.deallocate(old_allocation)
+        # Adopt the new cache's internals.
+        self.allocation = new_cache.allocation
+        self.path = new_cache.path
+        self.table = new_cache.table
+        self._attached = new_cache._attached
+        self.slo = slo
+        self.manager.on_reclaim_notice(self.allocation,
+                                       self._on_reclaim_notice)
+
+    def _shrink(self, capacity: int) -> None:
+        """Truncate the tail of the address space (§3.3)."""
+        dropped = self.table.truncate(capacity)
+        by_server: dict[str, int] = {}
+        for mapping in dropped:
+            by_server[mapping.server_name] = (
+                by_server.get(mapping.server_name, 0) + 1)
+            server = self._server_by_name(mapping.server_name)
+            server.release_region(mapping.token.region_id)
+        # Release VMs whose regions are all gone (Reallocate).
+        for name in by_server:
+            if not self.table.regions_on(name):
+                server = self._server_by_name(name)
+                vm = self.allocation.vms[
+                    self.allocation.servers.index(server)]
+                self.manager.release_vm(self.allocation, vm)
+                self._attached.discard(name)
+
+    def _grow(self, capacity: int):
+        """Extend the address space, using headroom before new VMs.
+
+        Any needed VM is allocated *before* the region table mutates, so
+        a failed grow leaves the cache unchanged (§3.3).
+        """
+        needed = math.ceil(capacity / self.region_bytes) - len(self.table)
+        # Headroom in the last VM first (§3.3).
+        last_server = self.allocation.servers[-1]
+        last_vm = self.allocation.vms[-1]
+        usable_gb = last_vm.vm_type.memory_gb - 0.5
+        fit = int(usable_gb * (1 << 30) // self.region_bytes)
+        used = len(self.table.regions_on(last_server.endpoint.name))
+        headroom = max(0, fit - used)
+        take = min(needed, headroom)
+        overflow = needed - take
+
+        new_server = None
+        if overflow > 0:
+            # May raise AllocationError: nothing has been mutated yet.
+            _vm, new_server = self.manager.allocate_replacement(
+                self.allocation, overflow)
+
+        if take > 0:
+            for region in last_server.allocate_regions(
+                    take, self.region_bytes, backed=self.backed):
+                self.path.add_route(region.region_id,
+                                    last_server.endpoint.name)
+                self.table.append_region(region.token,
+                                         last_server.endpoint.name)
+        if new_server is not None:
+            tokens = self.path.attach_server(
+                new_server, n_regions=overflow,
+                region_size=self.region_bytes, backed=self.backed)
+            self._attached.add(new_server.endpoint.name)
+            for token in tokens:
+                self.table.append_region(token, new_server.endpoint.name)
+        yield self.env.timeout(0)
+
+    def delete(self) -> None:
+        """Table 1 *Delete*: release all resources."""
+        if self.deleted:
+            return
+        self.deleted = True
+        self.manager.deallocate(self.allocation)
+
+    # ------------------------------------------------------------------
+    # Robustness (§6.2)
+    # ------------------------------------------------------------------
+
+    def _on_reclaim_notice(self, vm, deadline: float) -> None:
+        self.env.process(self._migrate_off(vm),
+                         name=f"redy-migrate-off-vm{vm.vm_id}")
+
+    def claim_migration(self, vm) -> bool:
+        """Try to become the sole mover of ``vm``'s regions."""
+        if vm.vm_id in self._migrating:
+            return False
+        self._migrating.add(vm.vm_id)
+        return True
+
+    def release_migration_claim(self, vm) -> None:
+        self._migrating.discard(vm.vm_id)
+
+    def _migrate_off(self, vm):
+        """Move every region off a doomed VM (reclaim notice received,
+        or a preemptive decision).
+
+        If the VM dies mid-copy -- the §7.4 risk when the cache on it is
+        too large for the notice window -- the not-yet-moved regions are
+        lost and recovery (backing file or zeroes) takes over.
+        """
+        if vm not in self.allocation.vms:
+            return
+        if not self.claim_migration(vm):
+            # Another mover (guard / cost optimizer / earlier notice) is
+            # already relocating this VM's regions.
+            return
+        try:
+            yield from self._migrate_off_locked(vm)
+        finally:
+            self.release_migration_claim(vm)
+
+    def _migrate_off_locked(self, vm):
+        index = self.allocation.vms.index(vm)
+        old_server = self.allocation.servers[index]
+        affected = [m.index for m in
+                    self.table.regions_on(old_server.endpoint.name)]
+        if self.manager.provisioning_delay_s > 0:
+            yield self.env.timeout(self.manager.provisioning_delay_s)
+        try:
+            _new_vm, new_server = self.manager.allocate_replacement(
+                self.allocation, len(affected), exclude_vm=vm)
+        except AllocationError:
+            # Nowhere to migrate: the regions die with the VM and ops on
+            # them will fail -- "the Redy client ... must be able to
+            # cope with the loss" (§3.2).
+            self.migration_failures += 1
+            return
+        try:
+            report = yield from migrate_regions(
+                self, old_server, new_server, affected,
+                policy=self.migration_policy)
+        except RuntimeError:
+            # Source VM terminated before the copy finished.  The
+            # regions stay paused; recovery re-provisions them and lifts
+            # the gates.
+            self.migration_failures += 1
+            yield self.recover_from_failure(old_server.endpoint.name)
+            return
+        self.migrations.append(report)
+        self.manager.release_vm(self.allocation, vm)
+
+    def recover_from_failure(self, server_name: str) -> Event:
+        """Re-provision regions lost to a hard VM failure.
+
+        The replacement is re-populated from the backing file when one
+        was given at Create time (§6.2: "the cache client can use a copy
+        of the cache to populate the new cache"); otherwise the regions
+        come back zeroed.  Affected regions are unavailable (ops pause)
+        until recovery completes.
+        """
+        done = self.env.event()
+        self.env.process(self._recover(server_name, done),
+                         name=f"redy-recover-{server_name}")
+        return done
+
+    def _recover(self, server_name: str, done: Event):
+        failed_server = self._server_by_name(server_name)
+        affected = [m.index for m in self.table.regions_on(server_name)]
+        for index in affected:
+            self.table.pause_writes(index)
+            self.table.pause_reads(index)
+        # Provisioning a replacement VM is not instantaneous (§6.2);
+        # zero delay models the pre-provisioned-VM strategy.
+        if self.manager.provisioning_delay_s > 0:
+            yield self.env.timeout(self.manager.provisioning_delay_s)
+        vm_index = self.allocation.servers.index(failed_server)
+        failed_vm = self.allocation.vms[vm_index]
+        try:
+            _vm, server = self.manager.allocate_replacement(
+                self.allocation, len(affected), exclude_vm=failed_vm)
+        except AllocationError as exc:
+            for index in affected:
+                self.table.resume(index)
+            done.fail(exc)
+            return
+        regions = server.allocate_regions(
+            len(affected), self.region_bytes, backed=self.backed)
+        self.ensure_attached(server)
+        ingest_bps = self.migration_policy.ingest_bandwidth_gbps * 1e9 / 8
+        for index, region in zip(affected, regions):
+            if self.backed and self.backing_file is not None:
+                base = index * self.region_bytes
+                chunk = self.backing_file[base:base + self.region_bytes]
+                if chunk:
+                    # Re-population moves real bytes; charge the same
+                    # ingest bandwidth as migration.
+                    yield self.env.timeout(len(chunk) / ingest_bps)
+                    region.local_write(0, chunk)
+            self.path.add_route(region.region_id, server.endpoint.name)
+            self.table.remap(index, region.token, server.endpoint.name)
+            self.table.resume(index)
+        self.allocation.vms.remove(failed_vm)
+        self.allocation.servers.remove(failed_server)
+        self.allocation.regions_per_server.pop(server_name, None)
+        self._attached.discard(server_name)
+        done.succeed(True)

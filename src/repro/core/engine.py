@@ -1,0 +1,394 @@
+"""Client-side data path: the executable version of Figure 6.
+
+:class:`CacheDataPath` owns the client threads of one Redy cache.  Each
+client thread runs one RDMA connection per attached cache server, with:
+
+* a *batch ring* buffering application requests (backpressure included),
+* an issuer loop that gathers up to ``b`` requests, takes a queue-depth
+  credit, and either posts a one-sided verb (single-op batches on the
+  fast path, §4.3) or writes a request batch into the server's message
+  ring, and
+* a completion loop that reaps response batches from the client's
+  response ring, runs callbacks, and returns credits.
+
+All CPU charges go through one per-thread ``Resource`` so that the
+issuer and completion sides cannot overlap in time -- they are the same
+hardware thread.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import RdmaConfig
+from repro.core.protocol import (
+    ConnectRequest,
+    EngineOp,
+    OpResult,
+    RequestBatch,
+)
+from repro.core.server import CacheServer, RING_SLOT_BYTES
+from repro.hardware.profiles import TestbedProfile
+from repro.net.fabric import Endpoint
+from repro.net.memory import MemoryRegion
+from repro.net.qp import QueuePair
+from repro.net.verbs import RdmaOp, WorkRequest
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Resource, Store
+
+__all__ = ["CacheDataPath", "EngineError"]
+
+
+class EngineError(Exception):
+    """Data-path misuse (no route for an op, engine not attached, ...)."""
+
+
+def _lognormal_sigma(median: float, p99: float) -> float:
+    if p99 <= median or median <= 0:
+        return 0.0
+    return math.log(p99 / median) / 2.326
+
+
+class _Connection:
+    """One client thread's connection to one cache server."""
+
+    def __init__(self, env: Environment, connection_id: int,
+                 server: CacheServer, qp: QueuePair,
+                 request_ring_token, response_ring: MemoryRegion,
+                 queue_depth: int):
+        self.connection_id = connection_id
+        self.server = server
+        self.qp = qp
+        self.request_ring_token = request_ring_token
+        self.response_ring = response_ring
+        #: Queue-depth credits: one per allowed in-flight operation.
+        self.credits = Store(env, capacity=queue_depth)
+        for _ in range(queue_depth):
+            self.credits.try_put(object())
+        #: The batch ring feeding this connection.
+        self.batch_ring: Store = Store(env)
+        #: In-flight request batches awaiting a response, by batch id.
+        self.outstanding: Dict[int, RequestBatch] = {}
+        self.closed = False
+
+
+class _ClientThread:
+    """One client thread: CPU resource + its connections."""
+
+    def __init__(self, env: Environment, index: int):
+        self.index = index
+        self.cpu = Resource(env, slots=1)
+        self.connections: Dict[str, _Connection] = {}
+        self.response_store: Store = Store(env)
+        #: region_id -> connection, for routing functional ops.
+        self.routes: Dict[int, _Connection] = {}
+
+
+class CacheDataPath:
+    """The client half of one Redy cache's data path."""
+
+    def __init__(self, env: Environment, profile: TestbedProfile,
+                 config: RdmaConfig, client_endpoint: Endpoint,
+                 rng: np.random.Generator, op_timeout: float = 0.05):
+        self.env = env
+        self.profile = profile
+        self.config = config
+        self.endpoint = client_endpoint
+        self.rng = rng
+        #: Response deadline for two-sided batches.  A server that dies
+        #: after acknowledging a request never responds; the client
+        #: fails those ops instead of hanging (real RDMA surfaces this
+        #: as a QP timeout).
+        self.op_timeout = op_timeout
+        self.threads = [
+            _ClientThread(env, i) for i in range(config.client_threads)]
+        self._round_robin = 0
+        self._connection_counter = 0
+        #: Lifetime statistics.
+        self.ops_completed = 0
+        self.ops_failed = 0
+        self._completed_weight = 0
+        self._jitter_sigma = _lognormal_sigma(
+            profile.cpu.numa_penalty_mean, profile.cpu.numa_penalty_p99)
+        self._lock_sigma = _lognormal_sigma(
+            profile.cpu.lock_contention_mean, profile.cpu.lock_contention_p99)
+        for thread in self.threads:
+            env.process(self._completion_loop(thread),
+                        name=f"redy-client:{client_endpoint.name}:"
+                             f"t{thread.index}:completions")
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def attach_server(self, server: CacheServer, n_regions: int,
+                      region_size: int, backed: bool = True) -> List:
+        """Run the *Connect* handshake against ``server``.
+
+        Builds one connection per client thread, registers response rings,
+        and returns the data-region tokens the server allocated.
+        """
+        config = self.config
+        response_rings = []
+        for _ in self.threads:
+            ring = self.endpoint.register(MemoryRegion(
+                max(1, config.queue_depth) * RING_SLOT_BYTES, backing=False))
+            response_rings.append(ring)
+        request = ConnectRequest(
+            client_name=self.endpoint.name,
+            n_regions=n_regions,
+            region_size=region_size,
+            server_threads=config.server_threads,
+            queue_depth=config.queue_depth,
+            connections=len(self.threads),
+            response_ring_tokens=[ring.token for ring in response_rings],
+            backed=backed,
+        )
+        reply = server.connect(request, self.endpoint)
+
+        for thread, ring, ring_token in zip(
+                self.threads, response_rings, reply.request_ring_tokens):
+            qp = QueuePair(self.env, self.endpoint, server.endpoint,
+                           max_depth=config.queue_depth)
+            connection = _Connection(
+                self.env, self._connection_counter, server, qp,
+                ring_token, ring, config.queue_depth)
+            self._connection_counter += 1
+            ring.attach_mailbox(
+                lambda response, store=thread.response_store:
+                    store.try_put(response))
+            thread.connections[server.endpoint.name] = connection
+            for token in reply.region_tokens:
+                thread.routes[token.region_id] = connection
+            self.env.process(
+                self._issuer_loop(thread, connection),
+                name=f"redy-client:{self.endpoint.name}:t{thread.index}:"
+                     f"issue->{server.endpoint.name}")
+        return reply.region_tokens
+
+    def detach_server(self, server_name: str) -> None:
+        """Drop all connections to one server (it failed or was reclaimed)."""
+        for thread in self.threads:
+            connection = thread.connections.pop(server_name, None)
+            if connection is not None:
+                connection.closed = True
+                stale = [rid for rid, conn in thread.routes.items()
+                         if conn is connection]
+                for rid in stale:
+                    del thread.routes[rid]
+
+    def add_route(self, region_id: int, server_name: str) -> None:
+        """Point a region at an (already attached) server on every thread."""
+        for thread in self.threads:
+            if server_name not in thread.connections:
+                raise EngineError(f"no connection to {server_name}")
+            thread.routes[region_id] = thread.connections[server_name]
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def submission_overhead(self) -> float:
+        """Sampled app-thread cost to hand one op to a client thread.
+
+        Lock-free ring handoff by default; the ablation baseline pays the
+        mutex cost plus a fat contention tail.  Non-affinitized threads
+        add cross-NUMA jitter.
+        """
+        cpu = self.profile.cpu
+        if self.config.lock_free:
+            cost = cpu.handoff_lockfree
+        else:
+            cost = cpu.handoff_locked + cpu.lock_contention_mean * float(
+                np.exp(self.rng.normal(0.0, self._lock_sigma)
+                       - self._lock_sigma**2 / 2))
+        if not self.config.numa_affinity:
+            cost += cpu.numa_penalty_mean * float(
+                np.exp(self.rng.normal(0.0, self._jitter_sigma)
+                       - self._jitter_sigma**2 / 2))
+        return cost
+
+    def submit(self, op: EngineOp, thread_index: Optional[int] = None) -> Event:
+        """Queue one op; returns an event that fires when the op is in the
+        batch ring (backpressure point).  The op's own ``completion``
+        event fires with its :class:`OpResult` when the I/O finishes.
+        """
+        if op.completion is None:
+            op.completion = self.env.event()
+        op.enqueued_at = self.env.now
+        if thread_index is None:
+            thread_index = self._round_robin % len(self.threads)
+            self._round_robin += 1
+        thread = self.threads[thread_index % len(self.threads)]
+        connection = self._route(thread, op)
+        return connection.batch_ring.put(op)
+
+    def _route(self, thread: _ClientThread, op: EngineOp) -> _Connection:
+        if op.token is not None:
+            connection = thread.routes.get(op.token.region_id)
+            if connection is None:
+                raise EngineError(
+                    f"no route for region {op.token.region_id}")
+            return connection
+        if not thread.connections:
+            raise EngineError("no attached cache server")
+        return next(iter(thread.connections.values()))
+
+    def _noise(self) -> float:
+        sigma = self.profile.measurement_noise
+        return float(np.exp(self.rng.normal(0.0, sigma))) if sigma else 1.0
+
+    def _issuer_loop(self, thread: _ClientThread, connection: _Connection):
+        cpu, nic = self.profile.cpu, self.profile.nic
+        config = self.config
+        while not connection.closed:
+            first = yield connection.batch_ring.get()
+            batch_ops = [first]
+            weight = first.weight
+            while weight < config.batch_size:
+                ok, op = connection.batch_ring.try_get()
+                if not ok:
+                    break
+                batch_ops.append(op)
+                weight += op.weight
+            yield connection.credits.get()
+
+            yield thread.cpu.acquire()
+            work = (cpu.batch_prepare + nic.doorbell
+                    + weight * cpu.client_per_op)
+            if not config.numa_affinity:
+                work += weight * cpu.numa_cpu_per_op
+            if not config.lock_free:
+                # The consumer side of the mutex-protected queue pays the
+                # same lock acquisition + contention as the producer.
+                work += weight * (cpu.handoff_locked
+                                  + cpu.lock_contention_mean * float(
+                                      np.exp(self.rng.normal(
+                                          0.0, self._lock_sigma)
+                                          - self._lock_sigma**2 / 2)))
+            yield self.env.timeout(work * self._noise())
+            thread.cpu.release()
+
+            one_sided = (len(batch_ops) == 1 and first.weight == 1
+                         and config.uses_one_sided and first.token is not None)
+            if one_sided:
+                self._post_one_sided(thread, connection, first)
+            else:
+                batch = RequestBatch(ops=batch_ops,
+                                     connection_id=connection.connection_id,
+                                     created_at=self.env.now)
+                connection.outstanding[batch.batch_id] = batch
+                wr = WorkRequest(
+                    RdmaOp.WRITE, connection.request_ring_token, 0,
+                    batch.wire_bytes, payload_object=batch)
+                ack = connection.qp.post(wr)
+                self.env.process(
+                    self._watch_request_ack(connection, batch, ack),
+                    name="redy-client:request-ack")
+                self.env.process(
+                    self._watch_response_timeout(connection, batch),
+                    name="redy-client:response-timeout")
+
+    def _post_one_sided(self, thread: _ClientThread, connection: _Connection,
+                        op: EngineOp) -> None:
+        verb = RdmaOp.READ if op.is_read else RdmaOp.WRITE
+        wr = WorkRequest(verb, op.token, op.offset, op.size, data=op.data)
+        completion_event = connection.qp.post(wr)
+        self.env.process(
+            self._one_sided_completion(thread, connection, op,
+                                       completion_event),
+            name="redy-client:one-sided-completion")
+
+    def _one_sided_completion(self, thread: _ClientThread,
+                              connection: _Connection, op: EngineOp,
+                              completion_event: Event):
+        completion = yield completion_event
+        yield thread.cpu.acquire()
+        cpu = self.profile.cpu
+        work = self.profile.nic.completion_poll + cpu.callback
+        yield self.env.timeout(work * self._noise())
+        thread.cpu.release()
+        if not self.config.numa_affinity:
+            yield self.env.timeout(cpu.numa_penalty_mean * float(
+                np.exp(self.rng.normal(0.0, self._jitter_sigma)
+                       - self._jitter_sigma**2 / 2)))
+        connection.credits.try_put(object())
+        self._finish(op, OpResult(
+            ok=completion.ok, data=completion.data, error=completion.error,
+            latency=self.env.now - op.enqueued_at))
+
+    def _watch_request_ack(self, connection: _Connection, batch: RequestBatch,
+                           ack_event: Event):
+        """Surface transport errors on the request write (server died)."""
+        completion = yield ack_event
+        if not completion.ok:
+            self._abort_batch(connection, batch, completion.error)
+
+    def _watch_response_timeout(self, connection: _Connection,
+                                batch: RequestBatch):
+        """Fail a batch whose response never arrives (§6.2 failures)."""
+        yield self.env.timeout(self.op_timeout)
+        self._abort_batch(
+            connection, batch,
+            f"no response from {connection.server.endpoint.name} within "
+            f"{self.op_timeout}s")
+
+    def _abort_batch(self, connection: _Connection, batch: RequestBatch,
+                     error: str) -> None:
+        """Fail every op of an in-flight batch exactly once."""
+        if connection.outstanding.pop(batch.batch_id, None) is None:
+            return  # already answered or already aborted
+        connection.credits.try_put(object())
+        for op in batch.ops:
+            self._finish(op, OpResult(
+                ok=False, error=error,
+                latency=self.env.now - op.enqueued_at))
+
+    def _completion_loop(self, thread: _ClientThread):
+        cpu, nic = self.profile.cpu, self.profile.nic
+        while True:
+            response = yield thread.response_store.get()
+            yield thread.cpu.acquire()
+            weight = sum(op.weight for op in response.ops)
+            work = (nic.completion_poll
+                    + weight * (cpu.client_per_op + cpu.callback))
+            yield self.env.timeout(work * self._noise())
+            thread.cpu.release()
+            if not self.config.numa_affinity:
+                yield self.env.timeout(cpu.numa_penalty_mean * float(
+                    np.exp(self.rng.normal(0.0, self._jitter_sigma)
+                           - self._jitter_sigma**2 / 2)))
+            connection = self._connection_by_id(thread,
+                                                response.connection_id)
+            if connection is not None:
+                if connection.outstanding.pop(response.batch_id,
+                                              None) is None:
+                    continue  # batch already timed out and was failed
+                connection.credits.try_put(object())
+            for op, result in zip(response.ops, response.results):
+                result.latency = self.env.now - op.enqueued_at
+                self._finish(op, result)
+
+    def _connection_by_id(self, thread: _ClientThread,
+                          connection_id: int) -> Optional[_Connection]:
+        for connection in thread.connections.values():
+            if connection.connection_id == connection_id:
+                return connection
+        return None
+
+    def _finish(self, op: EngineOp, result: OpResult) -> None:
+        if result.ok:
+            self.ops_completed += 1
+            self._completed_weight += op.weight
+        else:
+            self.ops_failed += 1
+        if op.completion is not None and not op.completion.triggered:
+            op.completion.succeed(result)
+
+    @property
+    def completed_weight(self) -> int:
+        """Total logical requests completed (weights summed)."""
+        return self._completed_weight

@@ -1,0 +1,196 @@
+"""Replicated caches: the §6.2 alternative to migrate-and-repopulate.
+
+"If this risk is unacceptable or if a VM failure is too disruptive, the
+cache manager could hold pre-provisioned VMs as targets for migration.
+Another alternative is replicating the cache."  (§6.2)
+
+:class:`ReplicatedCache` keeps ``r`` full copies on disjoint physical
+servers.  Writes go to every replica (write-all, read-primary, so a
+failover never loses acknowledged data); reads go to the primary and
+fail over to the next replica the moment the primary errors.  After a
+failover, :meth:`restore_redundancy` builds a fresh replica in the
+background from the surviving primary.
+
+The trade is explicit: ~r× the hourly cost buys near-zero unavailability
+on a VM failure, versus the migrate/re-populate path's seconds-long
+window.  The ``benchmarks/test_abl_replication_recovery.py`` ablation
+quantifies it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from repro.core.client import CacheIoResult, RedyCache, RedyClient
+from repro.core.config import Slo
+from repro.sim.kernel import Event
+
+__all__ = ["ReplicatedCache"]
+
+
+class ReplicatedCache:
+    """``r`` RedyCaches behind one read/write interface."""
+
+    def __init__(self, client: RedyClient, replicas: List[RedyCache]):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.client = client
+        self.env = client.env
+        self.replicas = list(replicas)
+        #: Failovers that have happened (for tests/benchmarks).
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, client: RedyClient, capacity: int, slo: Slo,
+               n_replicas: int = 2, *,
+               duration_s: float = math.inf,
+               file: Optional[bytes] = None,
+               region_bytes: int = 1 << 30) -> "ReplicatedCache":
+        """Provision ``n_replicas`` copies on disjoint physical servers."""
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        replicas: List[RedyCache] = []
+        used_servers: set[int] = set()
+        for _ in range(n_replicas):
+            cache = client.create(
+                capacity, slo, duration_s, file=file,
+                region_bytes=region_bytes,
+                exclude_servers=frozenset(used_servers))
+            replicas.append(cache)
+            used_servers.update(vm.server.server_id
+                                for vm in cache.allocation.vms)
+        return cls(client, replicas)
+
+    @property
+    def primary(self) -> RedyCache:
+        return self.replicas[0]
+
+    @property
+    def capacity(self) -> int:
+        return self.primary.capacity
+
+    @property
+    def hourly_cost(self) -> float:
+        return sum(r.allocation.hourly_cost for r in self.replicas)
+
+    def fault_domains(self) -> List[set]:
+        """Physical-server ids per replica (disjoint by construction)."""
+        return [
+            {vm.server.server_id for vm in replica.allocation.vms}
+            for replica in self.replicas
+        ]
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int,
+             callback: Optional[Callable[[CacheIoResult], None]] = None
+             ) -> Event:
+        """Read from the primary; on error, fail over and retry."""
+        done = self.env.event()
+        if callback is not None:
+            done._add_callback(lambda event: callback(event.value))
+        self.env.process(self._read(addr, size, done),
+                         name=f"repl-read@{addr}")
+        return done
+
+    def _read(self, addr: int, size: int, done: Event):
+        start = self.env.now
+        for _attempt in range(len(self.replicas)):
+            result = yield self.primary.read(addr, size)
+            if result.ok:
+                result.latency = self.env.now - start
+                done.succeed(result)
+                return
+            if len(self.replicas) == 1:
+                break
+            self._fail_over()
+        result.latency = self.env.now - start
+        done.succeed(result)
+
+    def write(self, addr: int, data: bytes,
+              callback: Optional[Callable[[CacheIoResult], None]] = None
+              ) -> Event:
+        """Write to every replica; completes when all live replicas ack.
+
+        A replica that errors is dropped from the group (its VM died);
+        the write succeeds as long as one replica holds the data.
+        """
+        done = self.env.event()
+        if callback is not None:
+            done._add_callback(lambda event: callback(event.value))
+        self.env.process(self._write(addr, data, done),
+                         name=f"repl-write@{addr}")
+        return done
+
+    def _write(self, addr: int, data: bytes, done: Event):
+        start = self.env.now
+        results = yield self.env.all_of(
+            [replica.write(addr, data) for replica in self.replicas])
+        survivors = [replica for replica, result
+                     in zip(self.replicas, results) if result.ok]
+        if survivors and len(survivors) < len(self.replicas):
+            self.failovers += len(self.replicas) - len(survivors)
+            self.replicas = survivors
+        if survivors:
+            done.succeed(CacheIoResult(ok=True,
+                                       latency=self.env.now - start))
+        else:
+            failed = next(r for r in results if not r.ok)
+            done.succeed(CacheIoResult(ok=False, error=failed.error,
+                                       latency=self.env.now - start))
+
+    def _fail_over(self) -> None:
+        """Drop the dead primary; the next replica takes over.
+
+        The dead cache's VMs are already gone, so there is nothing to
+        deallocate -- the surviving VM list is authoritative.
+        """
+        dead = self.replicas.pop(0)
+        dead.deleted = True
+        self.failovers += 1
+
+    # ------------------------------------------------------------------
+    # Redundancy maintenance
+    # ------------------------------------------------------------------
+
+    def restore_redundancy(self, target_replicas: int = 2) -> Event:
+        """Rebuild replicas up to ``target_replicas`` from the primary."""
+        done = self.env.event()
+        self.env.process(self._restore(target_replicas, done),
+                         name="repl-restore")
+        return done
+
+    def _restore(self, target_replicas: int, done: Event):
+        while len(self.replicas) < target_replicas:
+            used = {vm.server.server_id
+                    for replica in self.replicas
+                    for vm in replica.allocation.vms}
+            fresh = self.client.create(
+                self.primary.capacity, self.primary.slo,
+                region_bytes=self.primary.region_bytes,
+                exclude_servers=frozenset(used))
+            # Copy content region by region from the primary.
+            region_bytes = self.primary.region_bytes
+            for index in range(len(self.primary.table)):
+                result = yield self.primary.read(index * region_bytes,
+                                                 region_bytes)
+                if not result.ok:
+                    fresh.delete()
+                    done.fail(RuntimeError(
+                        f"re-replication failed: {result.error}"))
+                    return
+                yield fresh.write(index * region_bytes, result.data)
+            self.replicas.append(fresh)
+        done.succeed(len(self.replicas))
+
+    def delete(self) -> None:
+        for replica in self.replicas:
+            if not replica.deleted:
+                replica.delete()

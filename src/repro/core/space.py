@@ -1,0 +1,167 @@
+"""The five-level configuration tree of §5.2.
+
+The tree is *virtual*: for the paper's 8-byte example it has ~3.1 M
+leaves, so nodes are never materialized.  Instead :class:`ConfigSpace`
+exposes the per-level value ranges (with the constraints built in) and
+generators that walk the tree in the paper's resource-efficient
+pre-order: within the traversal q varies fastest, then b, then c, then s
+-- "explore the configurations that do not increase the hardware cost,
+i.e., increasing b and q, before the configurations that do, i.e., c and
+s.  We increase c before s."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.config import (
+    ConfigurationError,
+    MIN_QUEUE_DEPTH_OPTIMIZED,
+    RdmaConfig,
+    config_space_size,
+    max_batch_size,
+)
+
+__all__ = ["ConfigSpace"]
+
+
+def _geometric_upto(limit: int, start: int = 1, factor: int = 2) -> List[int]:
+    """start, start*factor, start*factor^2, ... plus ``limit`` itself."""
+    values = []
+    v = start
+    while v < limit:
+        values.append(v)
+        v *= factor
+    values.append(limit)
+    return values
+
+
+@dataclass(frozen=True)
+class ConfigSpace:
+    """One record size's configuration space on one testbed."""
+
+    max_client_threads: int
+    record_size: int
+    max_queue_depth: int
+    min_queue_depth: int = MIN_QUEUE_DEPTH_OPTIMIZED
+    #: Geometric step of the measurement grid.  2 is the paper's
+    #: powers-of-two interpolation; larger values trade model accuracy
+    #: for fewer measurements (the interpolation-density ablation).
+    grid_factor: int = 2
+    #: Cap on server threads.  0 restricts the space to purely one-sided
+    #: configurations -- what a core-less harvest VM can serve.
+    max_server_threads: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_client_threads < 1:
+            raise ConfigurationError("need at least one client thread")
+        if not 1 <= self.min_queue_depth <= self.max_queue_depth:
+            raise ConfigurationError(
+                f"need 1 <= min_queue_depth <= max_queue_depth, got "
+                f"{self.min_queue_depth}..{self.max_queue_depth}")
+        if self.grid_factor < 2:
+            raise ConfigurationError("grid_factor must be >= 2")
+        if (self.max_server_threads is not None
+                and self.max_server_threads < 0):
+            raise ConfigurationError("max_server_threads must be >= 0")
+
+    @property
+    def max_batch(self) -> int:
+        return max_batch_size(self.record_size)
+
+    # -- per-level value ranges (tree levels: s, c, b, q) ------------------
+
+    def s_values(self) -> range:
+        upper = self.max_client_threads
+        if self.max_server_threads is not None:
+            upper = min(upper, self.max_server_threads)
+        return range(0, upper + 1)
+
+    def c_values(self, s: int) -> range:
+        """c ranges from max(s, 1) to C: each connection needs a client
+        thread, and s <= c."""
+        return range(max(s, 1), self.max_client_threads + 1)
+
+    def b_values(self, s: int) -> range:
+        """s = 0 disables batching (constraint (2) of §5.2)."""
+        if s == 0:
+            return range(1, 2)
+        return range(1, self.max_batch + 1)
+
+    def q_values(self) -> range:
+        return range(self.min_queue_depth, self.max_queue_depth + 1)
+
+    # -- whole-space views -------------------------------------------------
+
+    def size(self) -> int:
+        """Number of leaves: the §5.2 closed form, or a direct count
+        when the server-thread cap restricts the tree."""
+        if self.max_server_threads is None:
+            return config_space_size(
+                self.max_client_threads, self.max_batch,
+                self.max_queue_depth, self.min_queue_depth)
+        q_count = len(self.q_values())
+        total = 0
+        for s in self.s_values():
+            c_count = len(self.c_values(s))
+            b_count = len(self.b_values(s))
+            total += c_count * b_count * q_count
+        return total
+
+    def contains(self, config: RdmaConfig) -> bool:
+        return (config.server_threads in self.s_values()
+                and config.client_threads in self.c_values(
+                    config.server_threads)
+                and config.batch_size in self.b_values(config.server_threads)
+                and config.queue_depth in self.q_values())
+
+    def iter_preorder(self) -> Iterator[RdmaConfig]:
+        """All configurations, cheapest-hardware first."""
+        for s in self.s_values():
+            for c in self.c_values(s):
+                for b in self.b_values(s):
+                    for q in self.q_values():
+                        yield RdmaConfig(c, s, b, q)
+
+    # -- the modeling grid ---------------------------------------------
+
+    def grid_s_values(self) -> List[int]:
+        """s grid: 0 plus a geometric ladder up to the s cap."""
+        ladder = [0] + _geometric_upto(self.max_client_threads,
+                                       factor=self.grid_factor)
+        if self.max_server_threads is None:
+            return ladder
+        return [s for s in ladder if s <= self.max_server_threads]
+
+    def grid_c_values(self, s: int) -> List[int]:
+        """c grid: the geometric ladder restricted to [max(s,1), C]."""
+        return [c for c in _geometric_upto(self.max_client_threads,
+                                           factor=self.grid_factor)
+                if c >= max(s, 1)] or [self.max_client_threads]
+
+    def grid_b_values(self, s: int) -> List[int]:
+        if s == 0:
+            return [1]
+        return _geometric_upto(self.max_batch, factor=self.grid_factor)
+
+    def grid_q_values(self) -> List[int]:
+        return _geometric_upto(self.max_queue_depth,
+                               start=self.min_queue_depth,
+                               factor=self.grid_factor)
+
+    def grid_size(self) -> int:
+        """Number of grid points before early termination."""
+        total = 0
+        for s in self.grid_s_values():
+            total += (len(self.grid_c_values(s)) * len(self.grid_b_values(s))
+                      * len(self.grid_q_values()))
+        return total
+
+    def iter_grid(self) -> Iterator[RdmaConfig]:
+        """The powers-of-two measurement grid, in pre-order."""
+        for s in self.grid_s_values():
+            for c in self.grid_c_values(s):
+                for b in self.grid_b_values(s):
+                    for q in self.grid_q_values():
+                        yield RdmaConfig(c, s, b, q)

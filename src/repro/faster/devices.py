@@ -1,0 +1,406 @@
+"""FASTER's storage devices.
+
+``IDevice`` "exposes storage as a byte-addressable sequential address
+space" (§8.2).  The hybrid log spills pages into the device; reads fetch
+them back with device-appropriate cost:
+
+* :class:`SsdDevice` -- server-local SSD: ~100 us log-normal latency
+  with garbage-collection stalls and bounded internal parallelism;
+* :class:`SmbDirectDevice` -- the paper's RDMA file-server baseline:
+  lower latency than SSD but a heavy per-op client stack and no
+  batching;
+* :class:`RedyDevice` -- a Redy cache wrapped as a device, holding the
+  most recent ``capacity`` bytes of the log as a ring;
+* :class:`TieredDevice` -- the tiered meta-device: every spill lands in
+  all tiers, a read is served by the lowest (fastest) tier that covers
+  its address, and the *commit point* selects which tier's write
+  acknowledgement completes an append.
+
+Every device also carries ``client_cpu_per_read`` -- the FASTER-thread
+CPU consumed per asynchronous read against it (I/O code path, context
+switching), the overhead §8.3 calls out.  It is what separates Redy's
+user-level client library from the kernel SMB/SSD stacks in Figures
+18-20.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.ssd import SsdSpec
+from repro.sim.clock import US
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Resource
+
+__all__ = [
+    "DeviceReadResult",
+    "IDevice",
+    "LocalMemoryDevice",
+    "RedyDevice",
+    "SmbDirectDevice",
+    "SsdDevice",
+    "TieredDevice",
+]
+
+
+@dataclass
+class DeviceReadResult:
+    """Outcome of one device read or write."""
+
+    ok: bool
+    data: Optional[bytes] = None
+    error: Optional[str] = None
+    #: The device that actually served a tiered read (None elsewhere).
+    tier: Optional["IDevice"] = None
+
+
+class IDevice(abc.ABC):
+    """A byte-addressable sequential storage address space."""
+
+    name: str = "device"
+    #: FASTER-thread CPU per asynchronous read on this device.
+    client_cpu_per_read: float = 0.0
+
+    @abc.abstractmethod
+    def read(self, addr: int, size: int) -> Event:
+        """Asynchronous read; fires with a :class:`DeviceReadResult`."""
+
+    @abc.abstractmethod
+    def write(self, addr: int, data: bytes) -> Event:
+        """Asynchronous write; fires with a :class:`DeviceReadResult`."""
+
+    @abc.abstractmethod
+    def spill(self, addr: int, data: bytes) -> None:
+        """Untimed ingestion of a flushed log page (setup/bulk load)."""
+
+    @abc.abstractmethod
+    def covers(self, addr: int) -> bool:
+        """Whether this device currently holds ``addr``."""
+
+
+class _BufferedDevice(IDevice):
+    """Shared machinery: a byte buffer plus a spill watermark."""
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise ValueError("device capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._buf = bytearray(capacity)
+        self._watermark = 0  # exclusive end of spilled data
+
+    @property
+    def watermark(self) -> int:
+        return self._watermark
+
+    def covers(self, addr: int) -> bool:
+        return 0 <= addr < self._watermark
+
+    def _store(self, addr: int, data: bytes) -> None:
+        if addr < 0 or addr + len(data) > self.capacity:
+            raise ValueError(
+                f"{self.name}: write [{addr}, {addr + len(data)}) outside "
+                f"capacity {self.capacity}")
+        self._buf[addr:addr + len(data)] = data
+        self._watermark = max(self._watermark, addr + len(data))
+
+    def _fetch(self, addr: int, size: int) -> bytes:
+        return bytes(self._buf[addr:addr + size])
+
+    def spill(self, addr: int, data: bytes) -> None:
+        self._store(addr, data)
+
+
+class LocalMemoryDevice(_BufferedDevice):
+    """DRAM as a device tier: near-instant, used in tests and as the
+    reference point for the Figure 19 local-memory sweep."""
+
+    name = "local-memory"
+    client_cpu_per_read = 0.05 * US
+
+    def __init__(self, env: Environment, capacity: int):
+        super().__init__(env, capacity)
+        self._latency = 0.1 * US
+
+    def read(self, addr: int, size: int) -> Event:
+        event = self.env.event()
+        data = self._fetch(addr, size)
+        self.env.process(self._complete(event, data), name="mem-read")
+        return event
+
+    def write(self, addr: int, data: bytes) -> Event:
+        event = self.env.event()
+        self._store(addr, data)
+        self.env.process(self._complete(event, None), name="mem-write")
+        return event
+
+    def _complete(self, event: Event, data: Optional[bytes]):
+        yield self.env.timeout(self._latency)
+        event.succeed(DeviceReadResult(ok=True, data=data))
+
+
+class SsdDevice(_BufferedDevice):
+    """Server-attached SSD with log-normal latency and GC stalls."""
+
+    name = "ssd"
+    #: Kernel block-I/O stack + async completion per read.
+    client_cpu_per_read = 3.5 * US
+
+    def __init__(self, env: Environment, capacity: int,
+                 rng: np.random.Generator, spec: SsdSpec = SsdSpec()):
+        super().__init__(env, capacity)
+        self.spec = spec
+        self.rng = rng
+        self._slots = Resource(env, slots=spec.internal_parallelism)
+
+    def read(self, addr: int, size: int) -> Event:
+        return self._io(addr, size, None)
+
+    def write(self, addr: int, data: bytes) -> Event:
+        return self._io(addr, len(data), data)
+
+    def _io(self, addr: int, size: int, data: Optional[bytes]) -> Event:
+        event = self.env.event()
+        self.env.process(self._service(event, addr, size, data),
+                         name=f"ssd-{'w' if data else 'r'}@{addr}")
+        return event
+
+    def _service(self, event: Event, addr: int, size: int,
+                 data: Optional[bytes]):
+        yield self._slots.acquire()
+        try:
+            latency = self.spec.sample_latency(size, data is not None,
+                                               self.rng)
+            yield self.env.timeout(latency)
+        finally:
+            self._slots.release()
+        if data is not None:
+            self._store(addr, data)
+            event.succeed(DeviceReadResult(ok=True))
+        else:
+            event.succeed(DeviceReadResult(ok=True,
+                                           data=self._fetch(addr, size)))
+
+
+class SmbDirectDevice(_BufferedDevice):
+    """The SMB Direct baseline: an RDMA-enabled file-server protocol.
+
+    Faster than SSD (its data sits in the file server's memory and moves
+    over RDMA) but request/response per operation with a kernel client
+    stack -- no Redy-style batching -- which is why it trails Redy by
+    ~10x in Figure 18.
+    """
+
+    name = "smb-direct"
+    #: Kernel SMB3 client + RDMA transport per read.
+    client_cpu_per_read = 10.5 * US
+
+    #: Server-side service time per request (file-server CPU + RDMA).
+    service_time = 6.0 * US
+    #: Effective per-connection bandwidth, Gbit/s.
+    bandwidth_gbps = 50.0
+    #: Concurrent requests the file server services for one client.
+    server_slots = 4
+
+    def __init__(self, env: Environment, capacity: int,
+                 rng: np.random.Generator, network_rtt: float = 2.9 * US):
+        super().__init__(env, capacity)
+        self.rng = rng
+        self.network_rtt = network_rtt
+        self._slots = Resource(env, slots=self.server_slots)
+
+    def _service_latency(self, size: int) -> float:
+        transfer = size * 8 / (self.bandwidth_gbps * 1e9)
+        jitter = float(np.exp(self.rng.normal(0.0, 0.15)))
+        return (self.network_rtt + self.service_time * jitter + transfer)
+
+    def read(self, addr: int, size: int) -> Event:
+        return self._io(addr, size, None)
+
+    def write(self, addr: int, data: bytes) -> Event:
+        return self._io(addr, len(data), data)
+
+    def _io(self, addr: int, size: int, data: Optional[bytes]) -> Event:
+        event = self.env.event()
+        self.env.process(self._service(event, addr, size, data),
+                         name=f"smb-{'w' if data else 'r'}@{addr}")
+        return event
+
+    def _service(self, event: Event, addr: int, size: int,
+                 data: Optional[bytes]):
+        yield self._slots.acquire()
+        try:
+            yield self.env.timeout(self._service_latency(size))
+        finally:
+            self._slots.release()
+        if data is not None:
+            self._store(addr, data)
+            event.succeed(DeviceReadResult(ok=True))
+        else:
+            event.succeed(DeviceReadResult(ok=True,
+                                           data=self._fetch(addr, size)))
+
+
+class RedyDevice(IDevice):
+    """A Redy cache wrapped as an ``IDevice`` (Figure 17).
+
+    The cache holds the most recent ``cache.capacity`` bytes of the log
+    as a ring: log address ``a`` lives at cache address
+    ``a % capacity``.  Older addresses fall out of the window and must
+    be served by the next tier.
+    """
+
+    name = "redy"
+    #: Redy's user-level client library is far cheaper per op than the
+    #: kernel storage stacks -- the core of the §8.3 result.
+    client_cpu_per_read = 0.2 * US
+
+    def __init__(self, cache):
+        self.env = cache.env
+        self.cache = cache
+        self._watermark = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.cache.capacity
+
+    @property
+    def window_start(self) -> int:
+        return max(0, self._watermark - self.capacity)
+
+    def covers(self, addr: int) -> bool:
+        return self.window_start <= addr < self._watermark
+
+    def _ring_pieces(self, addr: int, size: int):
+        """Split [addr, addr+size) at the ring boundary."""
+        start = addr % self.capacity
+        first = min(size, self.capacity - start)
+        yield start, 0, first
+        if first < size:
+            yield 0, first, size - first
+
+    def read(self, addr: int, size: int) -> Event:
+        event = self.env.event()
+        self.env.process(self._read(event, addr, size),
+                         name=f"redy-dev-r@{addr}")
+        return event
+
+    def _read(self, event: Event, addr: int, size: int):
+        pieces = list(self._ring_pieces(addr, size))
+        results = yield self.env.all_of([
+            self.cache.read(cache_addr, length)
+            for cache_addr, _buffer_offset, length in pieces])
+        if addr < self.window_start:
+            # The address aged out of the ring while the read was in
+            # flight: its slot now holds newer log bytes.  Callers fall
+            # back to the next tier (the log's full copy).
+            event.succeed(DeviceReadResult(
+                ok=False, error=f"address {addr} fell out of the cache "
+                                f"window during the read"))
+            return
+        if not all(r.ok for r in results):
+            failed = next(r for r in results if not r.ok)
+            event.succeed(DeviceReadResult(ok=False, error=failed.error))
+            return
+        buffer = bytearray(size)
+        for (_cache_addr, buffer_offset, length), result in zip(pieces,
+                                                                results):
+            buffer[buffer_offset:buffer_offset + length] = result.data
+        event.succeed(DeviceReadResult(ok=True, data=bytes(buffer)))
+
+    def write(self, addr: int, data: bytes) -> Event:
+        event = self.env.event()
+        self.env.process(self._write(event, addr, data),
+                         name=f"redy-dev-w@{addr}")
+        return event
+
+    def _write(self, event: Event, addr: int, data: bytes):
+        pieces = list(self._ring_pieces(addr, len(data)))
+        results = yield self.env.all_of([
+            self.cache.write(cache_addr,
+                             data[buffer_offset:buffer_offset + length])
+            for cache_addr, buffer_offset, length in pieces])
+        self._watermark = max(self._watermark, addr + len(data))
+        ok = all(r.ok for r in results)
+        error = None if ok else next(r for r in results if not r.ok).error
+        event.succeed(DeviceReadResult(ok=ok, error=error))
+
+    def spill(self, addr: int, data: bytes) -> None:
+        for cache_addr, buffer_offset, length in self._ring_pieces(
+                addr, len(data)):
+            self.cache.load(cache_addr,
+                            data[buffer_offset:buffer_offset + length])
+        self._watermark = max(self._watermark, addr + len(data))
+
+
+class TieredDevice(IDevice):
+    """FASTER's tiered-storage meta-device (§8.2).
+
+    ``tiers`` run fastest-first.  Spills/writes go to every tier; a read
+    is served by the first tier that covers its address; the *commit
+    point* (index into ``tiers``) selects how many tiers must
+    acknowledge a write before it completes.
+    """
+
+    name = "tiered"
+
+    def __init__(self, env: Environment, tiers: List[IDevice],
+                 commit_point: int = 0):
+        if not tiers:
+            raise ValueError("tiered device needs at least one tier")
+        if not 0 <= commit_point < len(tiers):
+            raise ValueError(f"commit_point {commit_point} out of range")
+        self.env = env
+        self.tiers = list(tiers)
+        self.commit_point = commit_point
+
+    def resolve(self, addr: int) -> Optional[IDevice]:
+        """The lowest tier currently holding ``addr``."""
+        for tier in self.tiers:
+            if tier.covers(addr):
+                return tier
+        return None
+
+    def covers(self, addr: int) -> bool:
+        return self.resolve(addr) is not None
+
+    def read(self, addr: int, size: int) -> Event:
+        event = self.env.event()
+        self.env.process(self._read(event, addr, size),
+                         name=f"tiered-r@{addr}")
+        return event
+
+    def _read(self, event: Event, addr: int, size: int):
+        """Serve from the lowest covering tier, falling back to higher
+        tiers when a cache tier's copy aged out mid-read."""
+        last_error = f"address {addr} on no tier"
+        for tier in self.tiers:
+            if not tier.covers(addr):
+                continue
+            result = yield tier.read(addr, size)
+            if result.ok:
+                result.tier = tier
+                event.succeed(result)
+                return
+            last_error = result.error
+        event.succeed(DeviceReadResult(ok=False, error=last_error))
+
+    def write(self, addr: int, data: bytes) -> Event:
+        """Apply to all tiers; complete at the commit point."""
+        events = [tier.write(addr, data) for tier in self.tiers]
+        done = self.env.event()
+        self.env.process(self._commit(events, done), name="tiered-commit")
+        return done
+
+    def _commit(self, events: List[Event], done: Event):
+        results = yield self.env.all_of(events[:self.commit_point + 1])
+        ok = all(r.ok for r in results)
+        done.succeed(DeviceReadResult(ok=ok))
+
+    def spill(self, addr: int, data: bytes) -> None:
+        for tier in self.tiers:
+            tier.spill(addr, data)

@@ -1,0 +1,177 @@
+"""An open-addressing hash index over numpy arrays.
+
+FASTER's hash index is a cache-friendly open-addressed table of
+key-to-address entries, not a chained map.  This implementation mirrors
+that design at the algorithmic level: power-of-two capacity, linear
+probing with deletion markers, amortized resizing, and 16 bytes of
+payload per slot (key + address as int64).  It is API-compatible with
+the lighter :class:`~repro.faster.index.HashIndex`, so
+:class:`~repro.faster.store.FasterKv` accepts either.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faster.address import NULL_ADDRESS
+
+__all__ = ["OpenAddressingIndex"]
+
+#: Slot-state sentinels, stored in the key array.  Callers may not use
+#: these two values as keys (they sit at the very bottom of int64).
+_EMPTY = np.iinfo(np.int64).min
+_DELETED = _EMPTY + 1
+
+#: splitmix64 constants for key mixing.
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+_MASK = (1 << 64) - 1
+
+
+def _mix(key: int) -> int:
+    """splitmix64 finalizer: spreads nearby keys across the table."""
+    z = (key + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * _MIX_1) & _MASK
+    z = ((z ^ (z >> 27)) * _MIX_2) & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+class OpenAddressingIndex:
+    """Linear-probing key -> address table with amortized growth."""
+
+    #: Bytes per slot: int64 key + int64 address.
+    BYTES_PER_SLOT = 16
+
+    #: Grow when occupancy (live + deleted) exceeds this fraction.
+    MAX_LOAD = 0.7
+
+    def __init__(self, initial_capacity: int = 1024):
+        if initial_capacity < 8:
+            initial_capacity = 8
+        capacity = 1
+        while capacity < initial_capacity:
+            capacity *= 2
+        self._keys = np.full(capacity, _EMPTY, dtype=np.int64)
+        self._addresses = np.full(capacity, NULL_ADDRESS, dtype=np.int64)
+        self._live = 0
+        self._occupied = 0  # live + deletion markers
+        #: Lifetime statistics (matches HashIndex).
+        self.lookups = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __contains__(self, key: int) -> bool:
+        return self._probe(key) >= 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._keys)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.capacity * self.BYTES_PER_SLOT
+
+    @property
+    def load_factor(self) -> float:
+        return self._live / self.capacity
+
+    @staticmethod
+    def _check_key(key: int) -> None:
+        if key in (_EMPTY, _DELETED):
+            raise ValueError(f"key {key} collides with a slot sentinel")
+
+    def _probe(self, key: int) -> int:
+        """Slot index holding ``key``, or -1."""
+        mask = self.capacity - 1
+        slot = _mix(key) & mask
+        keys = self._keys
+        while True:
+            current = keys[slot]
+            if current == key:
+                return slot
+            if current == _EMPTY:
+                return -1
+            slot = (slot + 1) & mask
+
+    def _insert_slot(self, key: int) -> int:
+        """Slot to write ``key`` into (existing, or first free)."""
+        mask = self.capacity - 1
+        slot = _mix(key) & mask
+        keys = self._keys
+        first_free = -1
+        while True:
+            current = keys[slot]
+            if current == key:
+                return slot
+            if current == _DELETED and first_free < 0:
+                first_free = slot
+            if current == _EMPTY:
+                return first_free if first_free >= 0 else slot
+            slot = (slot + 1) & mask
+
+    def _grow(self) -> None:
+        live = (self._keys != _EMPTY) & (self._keys != _DELETED)
+        live_keys = self._keys[live]
+        live_addresses = self._addresses[live]
+        new_capacity = self.capacity * 2
+        self._keys = np.full(new_capacity, _EMPTY, dtype=np.int64)
+        self._addresses = np.full(new_capacity, NULL_ADDRESS,
+                                  dtype=np.int64)
+        self._live = 0
+        self._occupied = 0
+        for key, address in zip(live_keys.tolist(),
+                                live_addresses.tolist()):
+            self._raw_update(key, address)
+
+    # ------------------------------------------------------------------
+    # HashIndex-compatible API
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: int) -> int:
+        self.lookups += 1
+        self._check_key(key)
+        slot = self._probe(key)
+        return int(self._addresses[slot]) if slot >= 0 else NULL_ADDRESS
+
+    def _raw_update(self, key: int, address: int) -> None:
+        if self._occupied + 1 > self.capacity * self.MAX_LOAD:
+            self._grow()
+        slot = self._insert_slot(key)
+        if self._keys[slot] != key:
+            self._live += 1
+            if self._keys[slot] == _EMPTY:
+                self._occupied += 1
+        self._keys[slot] = key
+        self._addresses[slot] = address
+
+    def update(self, key: int, address: int) -> None:
+        if address < 0:
+            raise ValueError(f"invalid address {address}")
+        self._check_key(key)
+        self.updates += 1
+        self._raw_update(key, address)
+
+    def compare_and_update(self, key: int, expected: int,
+                           address: int) -> bool:
+        self._check_key(key)
+        slot = self._probe(key)
+        current = int(self._addresses[slot]) if slot >= 0 else NULL_ADDRESS
+        if current != expected:
+            return False
+        self.update(key, address)
+        return True
+
+    def delete(self, key: int) -> bool:
+        self._check_key(key)
+        self.updates += 1
+        slot = self._probe(key)
+        if slot < 0:
+            return False
+        self._keys[slot] = _DELETED
+        self._addresses[slot] = NULL_ADDRESS
+        self._live -= 1
+        return True

@@ -1,0 +1,131 @@
+"""The hybrid log (§8.1).
+
+One logical append-only address space: "the tail of the log is stored in
+main memory and the remainder is spilled to storage".  The in-memory
+portion is a ring buffer over ``[head_address, tail_address)``; its
+youngest ``mutable_fraction`` supports in-place updates, the rest is
+read-only.  When an append needs room, the oldest in-memory page spills
+to the device and the head advances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faster.devices import IDevice
+from repro.sim.kernel import Environment
+
+__all__ = ["HybridLog"]
+
+#: Spill granularity: FASTER flushes whole pages, not single records.
+DEFAULT_PAGE_BYTES = 1 << 16
+
+
+class HybridLog:
+    """The in-memory half of the log plus its spill mechanics."""
+
+    def __init__(self, env: Environment, memory_bytes: int,
+                 device: Optional[IDevice],
+                 mutable_fraction: float = 0.9,
+                 page_bytes: int = DEFAULT_PAGE_BYTES):
+        if memory_bytes < 1:
+            raise ValueError("memory_bytes must be >= 1")
+        if not 0.0 <= mutable_fraction <= 1.0:
+            raise ValueError("mutable_fraction must be in [0, 1]")
+        self.env = env
+        self.memory_bytes = memory_bytes
+        self.device = device
+        self.mutable_fraction = mutable_fraction
+        self.page_bytes = min(page_bytes, memory_bytes)
+        self._buf = bytearray(memory_bytes)
+        self.begin_address = 0
+        self.head_address = 0
+        self.tail_address = 0
+        #: Lifetime statistics.
+        self.bytes_spilled = 0
+        self.records_appended = 0
+
+    # ------------------------------------------------------------------
+    # Boundaries
+    # ------------------------------------------------------------------
+
+    @property
+    def read_only_address(self) -> int:
+        """Below this (and >= head) the in-memory log is immutable."""
+        mutable_bytes = int(self.memory_bytes * self.mutable_fraction)
+        return max(self.head_address, self.tail_address - mutable_bytes)
+
+    def in_memory(self, addr: int) -> bool:
+        return self.head_address <= addr < self.tail_address
+
+    def in_mutable_region(self, addr: int) -> bool:
+        return self.read_only_address <= addr < self.tail_address
+
+    @property
+    def memory_used(self) -> int:
+        return self.tail_address - self.head_address
+
+    # ------------------------------------------------------------------
+    # Ring-buffer plumbing
+    # ------------------------------------------------------------------
+
+    def _ring_write(self, addr: int, data: bytes) -> None:
+        start = addr % self.memory_bytes
+        first = min(len(data), self.memory_bytes - start)
+        self._buf[start:start + first] = data[:first]
+        if first < len(data):
+            self._buf[0:len(data) - first] = data[first:]
+
+    def _ring_read(self, addr: int, size: int) -> bytes:
+        start = addr % self.memory_bytes
+        first = min(size, self.memory_bytes - start)
+        chunk = bytes(self._buf[start:start + first])
+        if first < size:
+            chunk += bytes(self._buf[0:size - first])
+        return chunk
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _evict_page(self) -> None:
+        """Spill the oldest page and advance the head."""
+        page_len = min(self.page_bytes, self.memory_used)
+        page = self._ring_read(self.head_address, page_len)
+        if self.device is not None:
+            self.device.spill(self.head_address, page)
+        self.bytes_spilled += page_len
+        self.head_address += page_len
+
+    def append(self, record: bytes) -> int:
+        """Append one record; returns its log address.
+
+        Evicts old pages as needed.  Without a device, evicted data is
+        simply lost (a pure in-memory cache configuration).
+        """
+        if len(record) > self.memory_bytes:
+            raise ValueError(
+                f"record ({len(record)} B) larger than log memory "
+                f"({self.memory_bytes} B)")
+        while self.memory_used + len(record) > self.memory_bytes:
+            self._evict_page()
+        addr = self.tail_address
+        self._ring_write(addr, record)
+        self.tail_address += len(record)
+        self.records_appended += 1
+        return addr
+
+    def read(self, addr: int, size: int) -> Optional[bytes]:
+        """Read from the in-memory portion; None if already spilled."""
+        if not self.in_memory(addr) or addr + size > self.tail_address:
+            return None
+        return self._ring_read(addr, size)
+
+    def update_in_place(self, addr: int, data: bytes) -> bool:
+        """Overwrite a record body; only legal in the mutable region."""
+        if not self.in_mutable_region(addr):
+            return False
+        if addr + len(data) > self.tail_address:
+            return False
+        self._ring_write(addr, data)
+        return True

@@ -1,0 +1,292 @@
+"""FasterKv: the store facade tying index, hybrid log, and devices.
+
+The timed operations (:meth:`FasterKv.read`, :meth:`FasterKv.upsert`,
+:meth:`FasterKv.rmw`) are generators meant to run inside simulation
+processes; they charge FASTER-thread CPU against the caller-supplied
+``cpu`` resource so that one thread's issue and completion work never
+overlaps in time, while device waits release the thread (the
+asynchronous device interface of §8.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faster.address import (
+    NULL_ADDRESS,
+    is_tombstone,
+    pack_record,
+    pack_tombstone,
+    record_bytes,
+    unpack_record,
+)
+from repro.faster.devices import IDevice
+from repro.faster.hlog import HybridLog
+from repro.faster.index import HashIndex
+from repro.sim.clock import US
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["FasterCosts", "FasterKv", "ReadOutcome"]
+
+
+@dataclass(frozen=True)
+class FasterCosts:
+    """FASTER-thread CPU costs, calibrated to §8.3.
+
+    * all-in-memory: ~0.78 us/read -> 4 threads reach the paper's
+      ~5 MOPS (Figure 19's 8 GB point);
+    * the asynchronous device path adds issue + completion work -- with
+      Redy's cheap client library the miss path totals ~1.45 us, giving
+      the 0.8 MOPS single-thread figure of 18a.
+    """
+
+    in_memory_read: float = 0.78 * US
+    async_issue: float = 0.70 * US
+    async_completion: float = 0.55 * US
+    upsert: float = 0.90 * US
+    copy_to_tail: float = 0.35 * US
+    #: Per-value-byte handling cost (copies through the session stack,
+    #: cache misses on large records).  Negligible for the paper's 8-byte
+    #: values; ~1 us per op for the 1 KB runs of Figure 18d.
+    per_value_byte: float = 1.0e-9
+
+
+@dataclass
+class ReadOutcome:
+    """Result of one read."""
+
+    found: bool
+    value: Optional[bytes] = None
+    served_by: str = "memory"
+    error: Optional[str] = None
+
+
+class FasterKv:
+    """A FASTER-style key-value store over one (possibly tiered) device."""
+
+    def __init__(self, env: Environment, device: Optional[IDevice],
+                 memory_bytes: int, value_bytes: int, *,
+                 costs: FasterCosts = FasterCosts(),
+                 copy_reads_to_tail: bool = True,
+                 mutable_fraction: float = 0.9,
+                 durable_writes: bool = False,
+                 index=None):
+        self.env = env
+        self.device = device
+        self.value_bytes = value_bytes
+        self.costs = costs
+        #: Write-through mode: an upsert is acknowledged only once the
+        #: device has it -- "an append operation is applied to all
+        #: tiers.  It is acknowledged to the client after all tiers have
+        #: applied the append", modulated by the tiered device's *commit
+        #: point* (§8.2).
+        self.durable_writes = durable_writes
+        #: FASTER's read-cache behaviour: a record served by a device is
+        #: appended back to the tail so hot records migrate into memory.
+        #: This is what makes the Zipfian runs of Figure 18b faster than
+        #: uniform -- "FASTER uses local memory to cache frequently-
+        #: accessed records".
+        self.copy_reads_to_tail = copy_reads_to_tail
+        #: Any HashIndex-compatible map; the default is the light
+        #: dict-backed index, :class:`~repro.faster.hashtable.
+        #: OpenAddressingIndex` is the faithful open-addressed one.
+        self.index = index if index is not None else HashIndex()
+        self.hlog = HybridLog(env, memory_bytes, device,
+                              mutable_fraction=mutable_fraction)
+        self.record_size = record_bytes(value_bytes)
+        #: Lifetime statistics.
+        self.reads_memory = 0
+        self.reads_device = 0
+        self.reads_missing = 0
+
+    # ------------------------------------------------------------------
+    # Untimed bulk load (benchmark setup)
+    # ------------------------------------------------------------------
+
+    def load(self, n_records: int,
+             value_of=None) -> None:
+        """Insert keys ``0..n_records-1`` without charging simulated time.
+
+        ``value_of(key)`` supplies values; default encodes the key so
+        that round-trip tests can verify content integrity.
+        """
+        if value_of is None:
+            def value_of(key: int) -> bytes:
+                return key.to_bytes(8, "little") * (self.value_bytes // 8) \
+                    + b"\x00" * (self.value_bytes % 8)
+        for key in range(n_records):
+            value = value_of(key)
+            if len(value) != self.value_bytes:
+                raise ValueError(
+                    f"value_of returned {len(value)} B, store expects "
+                    f"{self.value_bytes} B")
+            addr = self.hlog.append(pack_record(key, value))
+            self.index.update(key, addr)
+
+    @property
+    def log_size(self) -> int:
+        """Total logical log bytes (memory + spilled)."""
+        return self.hlog.tail_address
+
+    # ------------------------------------------------------------------
+    # Timed operations (run inside simulation processes)
+    # ------------------------------------------------------------------
+
+    def read(self, key: int, cpu: Resource):
+        """Process: read one key; returns a :class:`ReadOutcome`."""
+        yield cpu.acquire()
+        address = self.index.lookup(key)
+        if address == NULL_ADDRESS:
+            yield self.env.timeout(self.costs.in_memory_read)
+            cpu.release()
+            self.reads_missing += 1
+            return ReadOutcome(found=False)
+
+        if self.hlog.in_memory(address):
+            # Copy the record before yielding: a concurrent append could
+            # evict this page mid-wait (real FASTER pins it via epoch
+            # protection; copying first gives the same guarantee here).
+            blob = self.hlog.read(address, self.record_size)
+            yield self.env.timeout(
+                self.costs.in_memory_read
+                + self.value_bytes * self.costs.per_value_byte)
+            cpu.release()
+            self.reads_memory += 1
+            _key, value = unpack_record(blob)
+            return ReadOutcome(found=True, value=value, served_by="memory")
+
+        # Asynchronous device path: issue, release the thread while the
+        # I/O is in flight, then pay completion costs.
+        yield self.env.timeout(self.costs.async_issue)
+        cpu.release()
+        if self.device is None:
+            self.reads_missing += 1
+            return ReadOutcome(found=False,
+                               error="record evicted and no device")
+        result = yield self.device.read(address, self.record_size)
+        yield cpu.acquire()
+        serving = result.tier if result.tier is not None else self.device
+        completion = (self.costs.async_completion
+                      + serving.client_cpu_per_read
+                      + self.value_bytes * self.costs.per_value_byte)
+        yield self.env.timeout(completion)
+        if not result.ok:
+            cpu.release()
+            self.reads_missing += 1
+            return ReadOutcome(found=False, error=result.error)
+        if is_tombstone(result.data):
+            cpu.release()
+            self.reads_missing += 1
+            return ReadOutcome(found=False)
+        key_read, value = unpack_record(result.data)
+        if self.copy_reads_to_tail:
+            # Promote the record so subsequent reads hit memory.  Only
+            # if the index still points at the address we fetched.
+            yield self.env.timeout(self.costs.copy_to_tail)
+            new_address = self.hlog.append(result.data)
+            self.index.compare_and_update(key, address, new_address)
+        cpu.release()
+        self.reads_device += 1
+        return ReadOutcome(found=True, value=value, served_by=serving.name)
+
+    def upsert(self, key: int, value: bytes, cpu: Resource):
+        """Process: insert or update one key.
+
+        Updates in the mutable region happen in place; everything else
+        appends to the tail and swings the index (§8.1).
+        """
+        if len(value) != self.value_bytes:
+            raise ValueError(
+                f"value is {len(value)} B, store expects {self.value_bytes}")
+        yield cpu.acquire()
+        yield self.env.timeout(self.costs.upsert
+                               + len(value) * self.costs.per_value_byte)
+        record = pack_record(key, value)
+        address = self.index.lookup(key)
+        if (address != NULL_ADDRESS
+                and self.hlog.in_mutable_region(address)):
+            self.hlog.update_in_place(address, record)
+            written_at = address
+        else:
+            written_at = self.hlog.append(record)
+            self.index.update(key, written_at)
+        cpu.release()
+        if self.durable_writes and self.device is not None:
+            # Commit semantics: wait for the device (the tiered device
+            # acks at its commit point) while the thread serves others.
+            result = yield self.device.write(written_at, record)
+            if not result.ok:
+                return False
+        return True
+
+    def delete(self, key: int, cpu: Resource):
+        """Process: delete one key.  Returns False when absent.
+
+        Appends a tombstone (so the log records the deletion for
+        compaction/recovery) and unhooks the index entry.
+        """
+        yield cpu.acquire()
+        yield self.env.timeout(self.costs.upsert)
+        existed = self.index.lookup(key) != NULL_ADDRESS
+        if existed:
+            self.hlog.append(pack_tombstone(key, self.value_bytes))
+            self.index.delete(key)
+        cpu.release()
+        return existed
+
+    def rmw(self, key: int, transform, cpu: Resource):
+        """Process: read-modify-write.  ``transform(old) -> new value``.
+
+        Returns False when the key does not exist.
+        """
+        outcome = yield from self.read(key, cpu)
+        if not outcome.found:
+            return False
+        yield from self.upsert(key, transform(outcome.value), cpu)
+        return True
+
+    # ------------------------------------------------------------------
+    # Log compaction (§8.1)
+    # ------------------------------------------------------------------
+
+    def compact(self, until_address: int, cpu: Resource):
+        """Process: reclaim log space below ``until_address``.
+
+        "To free up storage, the oldest segment is read, its reachable
+        records are appended to the log tail, and then it is
+        deallocated" (§8.1).  A record is *reachable* when the index
+        still points at its address; superseded versions and tombstoned
+        keys are dropped.  Returns (records_scanned, records_relocated).
+        """
+        until_address = min(until_address, self.hlog.head_address)
+        address = self.hlog.begin_address
+        if until_address <= address:
+            return 0, 0
+        scanned = relocated = 0
+        while address < until_address:
+            if self.device is None:
+                break
+            result = yield self.device.read(address, self.record_size)
+            yield cpu.acquire()
+            yield self.env.timeout(
+                self.costs.async_completion
+                + self.value_bytes * self.costs.per_value_byte)
+            scanned += 1
+            if result.ok and not is_tombstone(result.data):
+                key, _value = unpack_record(result.data)
+                if self.index.lookup(key) == address:
+                    # Still the live version: relocate to the tail.
+                    new_address = self.hlog.append(result.data)
+                    self.index.update(key, new_address)
+                    relocated += 1
+            cpu.release()
+            address += self.record_size
+        self.hlog.begin_address = address
+        return scanned, relocated
+
+    @property
+    def live_log_bytes(self) -> int:
+        """Log bytes not yet reclaimed by compaction."""
+        return self.hlog.tail_address - self.hlog.begin_address

@@ -1,0 +1,34 @@
+"""Calibrated hardware cost profiles.
+
+The paper's evaluation ran on Azure Standard_HB60rs VMs (60 vCPUs, 228 GB
+RAM) with NVIDIA Mellanox ConnectX-5 NICs.  We cannot run on that testbed,
+so this package captures its *cost structure* -- the per-component
+latencies and rates that determine where Redy's protocol wins and loses.
+Every constant is annotated with the paper observation it is calibrated
+against; the calibration is validated end-to-end by the Figure 3/7/8/11/12
+benchmark suites.
+"""
+
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.nic import NicSpec
+from repro.hardware.ssd import SsdSpec
+from repro.hardware.profiles import (
+    AZURE_HPC,
+    FabricSpec,
+    TestbedProfile,
+    SWITCH_HOPS_INTER_CLUSTER,
+    SWITCH_HOPS_INTRA_CLUSTER,
+    SWITCH_HOPS_INTRA_RACK,
+)
+
+__all__ = [
+    "AZURE_HPC",
+    "CpuSpec",
+    "FabricSpec",
+    "NicSpec",
+    "SsdSpec",
+    "SWITCH_HOPS_INTER_CLUSTER",
+    "SWITCH_HOPS_INTRA_CLUSTER",
+    "SWITCH_HOPS_INTRA_RACK",
+    "TestbedProfile",
+]

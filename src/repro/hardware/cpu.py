@@ -1,0 +1,100 @@
+"""CPU-side cost model for the Redy data path.
+
+These constants drive the software components of latency and throughput:
+thread handoffs through ring buffers, batch assembly, server-side request
+processing, and the penalties that the paper's static optimizations
+(Section 4.3) remove -- lock contention and cross-NUMA scheduling jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import NS, US
+
+__all__ = ["CpuSpec"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Timing parameters of the client/server CPUs (EPYC 7551 class).
+
+    Calibration anchors (Figures 7 and 8):
+
+    * lock-free handoff vs locked handoff: lock-free cuts p99 tail ~7x and
+      lifts throughput 68.7%.
+    * one-sided fast path vs two-sided ring for single-op batches: median
+      19 us -> 12 us, +45.3% throughput.
+    * NUMA affinitization: removes ``numa_penalty`` + scheduling jitter,
+      7.1 us -> 5 us median and +52% throughput in the ablation.
+    """
+
+    #: Physical cores per socket and sockets per VM (HB60rs: 2 x 30).
+    cores_per_numa: int = 30
+    numa_nodes: int = 2
+
+    #: App thread -> client thread handoff through the lock-free batch ring.
+    handoff_lockfree: float = 0.15 * US
+
+    #: Same handoff through a mutex-protected queue (ablation baseline).
+    handoff_locked: float = 1.20 * US
+
+    #: Mean extra delay from lock contention under load (ablation baseline).
+    #: The contended path is also the source of the 7x p99 tail.
+    lock_contention_mean: float = 3.7 * US
+    lock_contention_p99: float = 50.0 * US
+
+    #: Client-thread fixed cost to assemble/flush one request batch.
+    batch_prepare: float = 0.25 * US
+
+    #: Client-thread incremental cost per request in a batch.
+    client_per_op: float = 10.0 * NS
+
+    #: Cost to run one application callback on completion.
+    callback: float = 0.10 * US
+
+    #: Server thread poll cycle over its message rings.  A request batch
+    #: waits on average half a cycle before the server notices it.
+    server_poll_cycle: float = 2.2 * US
+
+    #: Server fixed cost to parse one request batch and post the response.
+    server_batch_overhead: float = 0.80 * US
+
+    #: Server incremental cost per request (bookkeeping + copy setup).
+    #: Calibrated so a few server cores sustain ~100 MOPS with b=512
+    #: batches -- the §7.3 searches average only 1.6 server cores.
+    server_per_op: float = 22.0 * NS
+
+    #: Server memory copy bandwidth for payload bytes, Gbit/s.
+    memory_bandwidth_gbps: float = 300.0
+
+    #: Multiplicative per-op slowdown per additional server thread, modeling
+    #: shared-cache and memory-channel contention.  This is what caps the
+    #: throughput-optimal configuration near the paper's 205 MOPS.
+    server_contention_per_thread: float = 0.050
+
+    #: Extra *observed latency* per data-path direction when threads are
+    #: not NUMA-affinitized: scheduler-migration jitter delays when work
+    #: is noticed without consuming thread capacity.
+    numa_penalty_mean: float = 0.60 * US
+    numa_penalty_p99: float = 6.0 * US
+
+    #: Extra *CPU work* per op on the client thread when threads are not
+    #: NUMA-affinitized (cross-socket cache-line traffic).  This is the
+    #: throughput side of the Figure 8 NUMA ablation (+52%).
+    numa_cpu_per_op: float = 1.0 * US
+
+    def server_op_cost(self, payload_bytes: int, server_threads: int) -> float:
+        """Server-side cost to execute one read/write request of ``payload_bytes``.
+
+        Includes the contention factor for ``server_threads`` concurrently
+        active server threads.
+        """
+        contention = 1.0 + self.server_contention_per_thread * max(
+            0, server_threads - 1)
+        copy_time = payload_bytes * 8 / (self.memory_bandwidth_gbps * 1e9)
+        return (self.server_per_op + copy_time) * contention
+
+    @property
+    def total_cores(self) -> int:
+        return self.cores_per_numa * self.numa_nodes

@@ -1,0 +1,91 @@
+"""RDMA NIC cost model (ConnectX-5 class).
+
+The NIC is the heart of the latency model.  An RDMA verb's end-to-end cost
+decomposes into: doorbell (MMIO post), payload acquisition (inlined in the
+work request, or fetched from host memory over PCIe), wire serialization,
+per-hop switch latency (owned by the fabric model, not the NIC), remote
+delivery DMA, and completion-queue reaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import US
+
+__all__ = ["NicSpec"]
+
+#: Transport-layer header bytes per RDMA message (RoCE/IB headers + CRC).
+MESSAGE_HEADER_BYTES = 60
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Timing/capacity parameters of one RDMA NIC.
+
+    Calibration anchors (paper section in parentheses):
+
+    * ``inline_threshold_bytes = 172`` -- measured inline cutoff on the
+      paper's testbed (§7.2): writes up to this size avoid the PCIe fetch,
+      which is why small writes beat small reads in Figure 11.
+    * ``max_queue_depth = 16`` -- NIC-specific in-flight operation bound
+      (Table 2) on Azure HPC.
+    * ``line_rate_gbps = 100`` -- ConnectX-5 port speed.
+    """
+
+    name: str = "ConnectX-5"
+
+    #: Port speed in Gbit/s.  100 Gbit/s = 12.5 GB/s.
+    line_rate_gbps: float = 100.0
+
+    #: Largest write payload that can ride inside the work request itself.
+    inline_threshold_bytes: int = 172
+
+    #: NIC-enforced bound on in-flight operations per QP (Table 2 upper
+    #: bound for q).
+    max_queue_depth: int = 16
+
+    #: Cost of posting one work request (doorbell MMIO + WQE build), seconds.
+    doorbell: float = 0.20 * US
+
+    #: Base PCIe round trip to fetch a non-inline payload from host memory.
+    dma_fetch_base: float = 0.40 * US
+
+    #: PCIe payload bandwidth in Gbit/s (PCIe 3.0 x16 effective).
+    pcie_gbps: float = 120.0
+
+    #: Cost of delivering an inbound payload into host memory (DMA write).
+    rx_dma: float = 0.15 * US
+
+    #: Cost for software to reap one completion-queue entry.
+    completion_poll: float = 0.15 * US
+
+    #: Fixed NIC processing per message on the sending side (WQE
+    #: scheduling, transport state).
+    per_message_processing: float = 0.25 * US
+
+    #: Max messages/second one QP can sustain (millions).  This is what the
+    #: raw nd_read_bw/nd_write_bw baseline hits for small records, and what
+    #: Redy's batching side-steps (Figure 12: 10x over raw at 16 B).
+    message_rate_mops_per_qp: float = 16.0
+
+    #: Aggregate message rate of the whole NIC (millions/second).
+    message_rate_mops_total: float = 165.0
+
+    def wire_time(self, payload_bytes: int) -> float:
+        """Serialization delay of one message of ``payload_bytes`` on the wire."""
+        bits = (payload_bytes + MESSAGE_HEADER_BYTES) * 8
+        return bits / (self.line_rate_gbps * 1e9)
+
+    def dma_fetch(self, payload_bytes: int) -> float:
+        """PCIe fetch cost for a non-inline payload of ``payload_bytes``."""
+        bits = payload_bytes * 8
+        return self.dma_fetch_base + bits / (self.pcie_gbps * 1e9)
+
+    def can_inline(self, payload_bytes: int) -> bool:
+        """Whether a write payload rides inline in the work request."""
+        return payload_bytes <= self.inline_threshold_bytes
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.line_rate_gbps * 1e9 / 8

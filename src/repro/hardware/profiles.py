@@ -1,0 +1,103 @@
+"""Named testbed profiles: NIC + CPU + SSD + fabric in one bundle.
+
+:data:`AZURE_HPC` is the default profile, calibrated against the paper's
+Azure HB60rs / ConnectX-5 testbed.  All higher layers take a
+:class:`TestbedProfile` so alternative hardware (for sensitivity studies)
+drops in without code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.nic import NicSpec
+from repro.hardware.ssd import SsdSpec
+from repro.sim.clock import US
+
+__all__ = [
+    "AZURE_HPC",
+    "FabricSpec",
+    "TestbedProfile",
+    "SWITCH_HOPS_INTRA_RACK",
+    "SWITCH_HOPS_INTRA_CLUSTER",
+    "SWITCH_HOPS_INTER_CLUSTER",
+]
+
+#: The three network distances of a typical data center (paper §5.2):
+#: one switch (intra-rack), three (intra-cluster), five (inter-cluster).
+SWITCH_HOPS_INTRA_RACK = 1
+SWITCH_HOPS_INTRA_CLUSTER = 3
+SWITCH_HOPS_INTER_CLUSTER = 5
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Network fabric timing parameters.
+
+    Calibrated so a one-switch round trip lands at ~2.9 us, the network
+    component of the latency-optimal configuration in Figure 3.
+    """
+
+    #: One-way latency contributed by each switch traversal.
+    hop_latency: float = 0.75 * US
+
+    #: One-way NIC wire-entry cost (tx serializer, PHY), excluded from
+    #: per-message NIC processing because it is paid per direction.
+    wire_entry: float = 0.35 * US
+
+    #: One-way NIC wire-exit cost.
+    wire_exit: float = 0.35 * US
+
+    #: Shared bandwidth of each rack's uplink to the rest of the fabric,
+    #: Gbit/s.  None models a non-blocking fabric (the paper's HPC
+    #: cluster); a finite value makes concurrent cross-rack flows from
+    #: one rack contend -- the oversubscription concern of the
+    #: disaggregation literature the paper cites.
+    rack_uplink_gbps: float | None = None
+
+    def one_way_base(self, switch_hops: int) -> float:
+        """One-way propagation latency excluding serialization, seconds."""
+        return self.wire_entry + switch_hops * self.hop_latency + self.wire_exit
+
+    def round_trip_base(self, switch_hops: int) -> float:
+        """Round-trip propagation latency excluding serialization.
+
+        At one switch this is 2.9 us -- the light-blue network bar of
+        Figure 7 for the latency-optimal configuration.
+        """
+        return 2.0 * self.one_way_base(switch_hops)
+
+
+@dataclass(frozen=True)
+class TestbedProfile:
+    """Everything the simulation needs to know about the hardware."""
+
+    name: str = "azure-hpc"
+    nic: NicSpec = field(default_factory=NicSpec)
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    ssd: SsdSpec = field(default_factory=SsdSpec)
+    fabric: FabricSpec = field(default_factory=FabricSpec)
+
+    #: Fraction of VM cores assumed available to a Redy cache during
+    #: offline modeling (paper §5.2: "a VM has up to 60 cores, of which we
+    #: assume half are available to a Redy cache").
+    modeling_core_fraction: float = 0.5
+
+    #: Relative standard deviation of measurement noise applied when the
+    #: simulated testbed "measures" a configuration.  This is what makes
+    #: predicted and real curves differ slightly in Figures 13/14.
+    measurement_noise: float = 0.03
+
+    @property
+    def modeling_cores(self) -> int:
+        """Client cores available during offline modeling (C in Table 2)."""
+        return int(self.cpu.total_cores * self.modeling_core_fraction)
+
+    def with_overrides(self, **kwargs) -> "TestbedProfile":
+        """Return a copy with some fields replaced (for sensitivity studies)."""
+        return replace(self, **kwargs)
+
+
+#: Default profile matching the paper's evaluation testbed.
+AZURE_HPC = TestbedProfile()

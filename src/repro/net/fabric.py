@@ -1,0 +1,154 @@
+"""Network fabric: endpoints, placement, and message delivery.
+
+The fabric owns the physical-layer costs: transmit serialization at line
+rate (shared by everything an endpoint sends -- this is how migration
+traffic contends with foreground traffic in the Figure 15/16 experiments)
+and per-switch-hop propagation latency.
+
+Topology follows the paper's three network distances (§5.2): endpoints in
+the same rack are one switch apart, same cluster three, different
+clusters five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.hardware.profiles import (
+    SWITCH_HOPS_INTER_CLUSTER,
+    SWITCH_HOPS_INTRA_CLUSTER,
+    SWITCH_HOPS_INTRA_RACK,
+    TestbedProfile,
+)
+from repro.net.memory import MemoryRegion
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Resource
+
+__all__ = ["Endpoint", "Fabric", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where an endpoint lives in the data-center topology."""
+
+    cluster: int = 0
+    rack: int = 0
+
+    def switch_hops_to(self, other: "Placement") -> int:
+        if self.cluster != other.cluster:
+            return SWITCH_HOPS_INTER_CLUSTER
+        if self.rack != other.rack:
+            return SWITCH_HOPS_INTRA_CLUSTER
+        return SWITCH_HOPS_INTRA_RACK
+
+
+class Endpoint:
+    """One RDMA NIC port with its registered memory regions.
+
+    Endpoints are created through :meth:`Fabric.add_endpoint`.
+    """
+
+    def __init__(self, fabric: "Fabric", name: str, placement: Placement):
+        self.fabric = fabric
+        self.name = name
+        self.placement = placement
+        #: Serializes outbound bytes at line rate.  Shared by every QP on
+        #: this endpoint, so bulk transfers and foreground traffic contend.
+        self.tx_link = Resource(fabric.env, slots=1)
+        self.regions: Dict[int, MemoryRegion] = {}
+        self.alive = True
+
+    def register(self, region: MemoryRegion) -> MemoryRegion:
+        """Register a memory region with this NIC."""
+        self.regions[region.region_id] = region
+        return region
+
+    def deregister(self, region_id: int) -> None:
+        region = self.regions.pop(region_id, None)
+        if region is not None:
+            region.revoke()
+
+    def find_region(self, region_id: int) -> Optional[MemoryRegion]:
+        return self.regions.get(region_id)
+
+    def fail(self) -> None:
+        """Kill the endpoint (VM failure / reclamation finalized).
+
+        All registered regions are revoked; in-flight and future verbs
+        targeting it complete in error.
+        """
+        self.alive = False
+        for region in self.regions.values():
+            region.revoke()
+        self.regions.clear()
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Endpoint {self.name} {self.placement} {state}>"
+
+
+class Fabric:
+    """The data-center network connecting all endpoints."""
+
+    def __init__(self, env: Environment, profile: TestbedProfile):
+        self.env = env
+        self.profile = profile
+        self._endpoints: Dict[str, Endpoint] = {}
+        #: Shared rack-uplink serializers, created lazily per rack when
+        #: the profile declares finite uplink bandwidth.
+        self._uplinks: Dict[tuple[int, int], Resource] = {}
+
+    def _rack_uplink(self, placement: Placement) -> Optional[Resource]:
+        if self.profile.fabric.rack_uplink_gbps is None:
+            return None
+        key = (placement.cluster, placement.rack)
+        uplink = self._uplinks.get(key)
+        if uplink is None:
+            uplink = Resource(self.env, slots=1)
+            self._uplinks[key] = uplink
+        return uplink
+
+    def add_endpoint(self, name: str,
+                     placement: Placement = Placement()) -> Endpoint:
+        if name in self._endpoints:
+            raise ValueError(f"endpoint name {name!r} already in use")
+        endpoint = Endpoint(self, name, placement)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self._endpoints[name]
+
+    def switch_hops(self, src: Endpoint, dst: Endpoint) -> int:
+        return src.placement.switch_hops_to(dst.placement)
+
+    def transmit(self, src: Endpoint, dst: Endpoint,
+                 wire_payload_bytes: int) -> Generator[Event, None, None]:
+        """Process: move one message from ``src`` to ``dst``.
+
+        Charges transmit serialization (holding the source's tx link, so
+        concurrent senders queue) followed by propagation across the
+        switches.  Propagation does not hold the link: back-to-back
+        messages pipeline, which is what makes queue depth effective.
+        """
+        nic = self.profile.nic
+        yield src.tx_link.acquire()
+        try:
+            yield self.env.timeout(nic.wire_time(wire_payload_bytes))
+        finally:
+            src.tx_link.release()
+        hops = self.switch_hops(src, dst)
+        if hops > SWITCH_HOPS_INTRA_RACK:
+            # Cross-rack traffic squeezes through the rack's shared
+            # uplink when the fabric is oversubscribed.
+            uplink = self._rack_uplink(src.placement)
+            if uplink is not None:
+                uplink_gbps = self.profile.fabric.rack_uplink_gbps
+                yield uplink.acquire()
+                try:
+                    yield self.env.timeout(
+                        wire_payload_bytes * 8 / (uplink_gbps * 1e9))
+                finally:
+                    uplink.release()
+        yield self.env.timeout(self.profile.fabric.one_way_base(hops))

@@ -1,0 +1,79 @@
+"""RDMA verb descriptors.
+
+Only the one-sided verbs exist at this layer.  Redy implements its
+two-sided request/response protocol with one-sided *writes* into message
+rings (paper §4.1: "Redy implements two-sided communications ... using
+one-sided RDMA writes, since they are faster").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.memory import AccessToken
+
+__all__ = ["Completion", "RdmaOp", "WorkRequest"]
+
+_WR_IDS = itertools.count(1)
+
+
+class RdmaOp(enum.Enum):
+    """One-sided verb type."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class WorkRequest:
+    """One posted one-sided operation.
+
+    For a WRITE, ``payload_bytes`` (and optionally ``data``) describe the
+    client-side buffer pushed to ``(token, remote_offset)``.  For a READ,
+    ``payload_bytes`` is the length pulled from the remote region.
+    """
+
+    op: RdmaOp
+    token: AccessToken
+    remote_offset: int
+    payload_bytes: int
+    data: Optional[bytes] = None
+    #: Opaque correlation value handed back on the completion (batch ids,
+    #: callback handles).
+    context: object = None
+    #: Opaque message delivered to the target region's mailbox when this
+    #: WRITE lands (how request/response batches reach the poller on the
+    #: other side).  Ignored for READs and for regions without a mailbox.
+    payload_object: object = None
+    wr_id: int = field(default_factory=lambda: next(_WR_IDS))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        if self.data is not None and len(self.data) != self.payload_bytes:
+            raise ValueError(
+                f"data length {len(self.data)} != payload_bytes "
+                f"{self.payload_bytes}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is RdmaOp.WRITE
+
+
+@dataclass
+class Completion:
+    """Completion-queue entry for one work request."""
+
+    wr_id: int
+    op: RdmaOp
+    ok: bool
+    #: Data returned by a READ (None for size-only regions or on error).
+    data: Optional[bytes] = None
+    #: Error detail when ``ok`` is False.
+    error: Optional[str] = None
+    context: object = None
+    #: Simulated timestamp when the completion was generated.
+    completed_at: float = 0.0

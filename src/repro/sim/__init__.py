@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel.
+
+This package is the lowest-level substrate of the reproduction: a compact,
+deterministic discrete-event simulator in the style of SimPy, specialized
+for the needs of the Redy reproduction (microsecond-scale network protocol
+simulation, resource contention, and interruptible processes for failure
+and reclamation experiments).
+
+Time is modelled as a ``float`` number of *seconds*.  Helper constants
+(:data:`US`, :data:`MS`, :data:`S`) make intent explicit at call sites::
+
+    yield env.timeout(4.1 * US)
+
+Determinism: events scheduled for the same instant fire in (priority,
+insertion-order), so a simulation with a fixed RNG seed replays exactly.
+"""
+
+from repro.sim.clock import MINUTE, MS, NS, S, US
+from repro.sim.kernel import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "MINUTE",
+    "MS",
+    "NS",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "S",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "US",
+]

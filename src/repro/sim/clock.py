@@ -1,0 +1,41 @@
+"""Time units for the simulation kernel.
+
+The kernel's native unit is the second, stored as a float.  All latency
+arithmetic in the reproduction is done at microsecond-to-minute scale, which
+float64 represents with sub-picosecond resolution, so drift is a non-issue
+for the horizons we simulate (hours).
+"""
+
+#: One second, the native time unit.
+S = 1.0
+
+#: One millisecond.
+MS = 1e-3
+
+#: One microsecond.  Most RDMA latencies are a handful of these.
+US = 1e-6
+
+#: One nanosecond.  Used for per-byte wire/memory costs.
+NS = 1e-9
+
+#: One minute.  Used by the cluster-trace generator.
+MINUTE = 60.0
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with a human-appropriate unit.
+
+    >>> format_time(4.1e-6)
+    '4.100us'
+    >>> format_time(0.25)
+    '250.000ms'
+    """
+    if seconds < 1e-6:
+        return f"{seconds / NS:.3f}ns"
+    if seconds < 1e-3:
+        return f"{seconds / US:.3f}us"
+    if seconds < 1.0:
+        return f"{seconds / MS:.3f}ms"
+    if seconds < MINUTE:
+        return f"{seconds:.3f}s"
+    return f"{seconds / MINUTE:.2f}min"

@@ -1,0 +1,366 @@
+"""The discrete-event simulation kernel.
+
+The kernel follows the classic event-list design: an
+:class:`Environment` owns a binary heap of scheduled events, and
+:class:`Process` objects are Python generators that advance by yielding
+events.  When a yielded event fires, the process resumes with the event's
+value (or the event's exception is thrown into it).
+
+The feature set is intentionally small -- timeouts, one-shot events,
+processes, and interrupts -- because that is exactly what the higher
+layers (RDMA fabric, cache engine, cluster allocator) need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupting party supplies ``cause``, which the interrupted
+    process can inspect to decide how to react (the migration and
+    reclamation code paths use this to distinguish "VM reclaimed" from
+    "cache deleted").
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle priorities.  Lower value fires first at equal timestamps.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled on the event list with a value or an exception), and
+    *processed* (callbacks ran).  Waiting on an already-processed event
+    resumes the waiter immediately on the next kernel step.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is thrown into every waiting process.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or ():
+            callback(self)
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: deliver on the next kernel step so that
+            # resume ordering stays deterministic.
+            self.env._call_soon(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._enqueue(self, delay=delay, priority=PRIORITY_NORMAL)
+
+
+class Process(Event):
+    """A generator-driven simulation process.
+
+    The process itself is an event that fires when the generator returns
+    (its value is the generator's return value) or raises.  This makes
+    processes joinable: ``yield other_process`` waits for completion.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the generator on the next kernel step.
+        env._call_soon(self._bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        Interrupting a finished process is a no-op, mirroring the
+        at-most-once semantics of VM reclamation notices.
+        """
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.env._call_soon(
+            lambda: self._step(throw=Interrupt(cause)), priority=PRIORITY_URGENT)
+
+    def _bootstrap(self) -> None:
+        if not self._triggered:
+            self._step(send=None)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(send=event.value)
+        else:
+            self._step(throw=event.value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to joiners
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                raise
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event")
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; fails fast on first failure."""
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        self._pending = len(events)
+        self._values: list[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for i, event in enumerate(events):
+            event._add_callback(lambda ev, i=i: self._child_done(ev, i))
+
+    def _child_done(self, event: Event, index: int) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._values[index] = event.value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(list(self._values))
+
+
+class AnyOf(Event):
+    """Fires with (index, value) of the first child event to fire."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for i, event in enumerate(events):
+            event._add_callback(lambda ev, i=i: self._child_done(ev, i))
+
+    def _child_done(self, event: Event, index: int) -> None:
+        if self._triggered:
+            return
+        if event.ok:
+            self.succeed((index, event.value))
+        else:
+            self.fail(event.value)
+
+
+class Environment:
+    """Owns simulated time and the event list."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._sequence, event))
+
+    def _call_soon(self, fn: Callable[[], None],
+                   priority: int = PRIORITY_NORMAL) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now, priority, self._sequence, fn))
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next entry on the event list."""
+        when, _priority, _seq, entry = heapq.heappop(self._heap)
+        self._now = when
+        if isinstance(entry, Event):
+            entry._run_callbacks()
+        else:
+            entry()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event list drains or simulated time reaches ``until``.
+
+        ``until`` is an absolute timestamp; when reached, ``now`` is set to
+        exactly ``until`` so callers can resume cleanly.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, generator: Generator[Event, Any, Any],
+                    name: str = "") -> Any:
+        """Convenience: run a single process to completion, return its value."""
+        proc = self.process(generator, name=name)
+        # Keep a callback registered so failures are captured, not raised
+        # from the middle of the event loop.
+        proc._add_callback(lambda ev: None)
+        while self._heap and not proc.processed:
+            self.step()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} starved: event list drained while waiting")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

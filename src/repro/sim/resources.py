@@ -1,0 +1,141 @@
+"""Shared resources for simulation processes.
+
+Two primitives cover the reproduction's needs:
+
+* :class:`Store` -- an unbounded-or-bounded FIFO of items; the simulated
+  analogue of the lock-free ring buffers in Redy's data path and of device
+  request queues in the FASTER substrate.
+* :class:`Resource` -- counted slots with FIFO admission; used for NIC DMA
+  engines and SSD internal parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.kernel import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class Store:
+    """A FIFO channel between producer and consumer processes.
+
+    ``put`` blocks while the store is full (when ``capacity`` is bounded);
+    ``get`` blocks while it is empty.  Waiters are served in FIFO order,
+    which mirrors the in-order guarantee Redy gets from reliable RDMA
+    connections.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"Store capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is accepted."""
+        event = self.env.event()
+        if self._getters:
+            # Hand the item straight to the oldest waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns (ok, item)."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._admit_putter()
+        return True, item
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self._items.append(item)
+            event.succeed()
+
+
+class Resource:
+    """``slots`` interchangeable units acquired and released by processes.
+
+    Usage::
+
+        yield resource.acquire()
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, slots: int = 1):
+        if slots < 1:
+            raise SimulationError(f"Resource needs >= 1 slot, got {slots}")
+        self.env = env
+        self.slots = slots
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        event = self.env.event()
+        if self._in_use < self.slots:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._waiters:
+            # Hand the slot directly to the oldest waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

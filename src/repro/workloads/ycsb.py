@@ -1,0 +1,79 @@
+"""YCSB workload definitions.
+
+The paper's §8.3 setup: "Our YCSB database contains 250 million
+key-value records (8-byte key and 8-byte value) ... Every operation is a
+read governed by either a uniform distribution or a Zipfian distribution
+(theta = 0.99)", plus a 1 KB-value variant.  :func:`paper_read_only`
+builds exactly that (at a configurable scale); the standard YCSB core
+mixes A/B/C are provided for the example applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.distributions import (
+    ScrambledZipfianChooser,
+    UniformChooser,
+)
+
+__all__ = ["YCSB_A", "YCSB_B", "YCSB_C", "YcsbWorkload", "paper_read_only"]
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """One YCSB workload: database shape plus an operation mix."""
+
+    name: str
+    n_records: int
+    value_bytes: int
+    read_proportion: float
+    update_proportion: float
+    distribution: str = "zipfian"  # "zipfian" | "uniform"
+    theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        total = self.read_proportion + self.update_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"op mix must sum to 1, got {total}")
+        if self.distribution not in ("zipfian", "uniform"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+    def make_chooser(self, rng: np.random.Generator):
+        if self.distribution == "uniform":
+            return UniformChooser(self.n_records, rng)
+        return ScrambledZipfianChooser(self.n_records, rng,
+                                       theta=self.theta)
+
+    def sample_ops(self, count: int, rng: np.random.Generator
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """(keys, is_read) arrays for ``count`` operations."""
+        keys = self.make_chooser(rng).sample(count)
+        is_read = rng.random(count) < self.read_proportion
+        return keys, is_read
+
+    @property
+    def database_bytes(self) -> int:
+        from repro.faster.address import record_bytes
+        return self.n_records * record_bytes(self.value_bytes)
+
+
+def paper_read_only(n_records: int, value_bytes: int = 8,
+                    distribution: str = "uniform") -> YcsbWorkload:
+    """The §8.3 read-only workload at a chosen scale."""
+    return YcsbWorkload(
+        name=f"paper-{distribution}-{value_bytes}B",
+        n_records=n_records, value_bytes=value_bytes,
+        read_proportion=1.0, update_proportion=0.0,
+        distribution=distribution)
+
+
+#: The standard core workloads (update-heavy / read-mostly / read-only).
+YCSB_A = YcsbWorkload("ycsb-a", n_records=100_000, value_bytes=100,
+                      read_proportion=0.5, update_proportion=0.5)
+YCSB_B = YcsbWorkload("ycsb-b", n_records=100_000, value_bytes=100,
+                      read_proportion=0.95, update_proportion=0.05)
+YCSB_C = YcsbWorkload("ycsb-c", n_records=100_000, value_bytes=100,
+                      read_proportion=1.0, update_proportion=0.0)

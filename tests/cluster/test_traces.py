@@ -1,0 +1,103 @@
+"""Tests for the synthetic trace generator and stranding analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.stranding import (
+    reachability_cdf,
+    reachable_stranded_memory,
+    stranding_duration_percentiles,
+    utilization_summary,
+)
+from repro.cluster.traces import TraceConfig, generate_trace
+
+#: A small-but-meaningful trace shared by all tests in this module.
+SMALL = TraceConfig(clusters=4, racks_per_cluster=5, servers_per_rack=10,
+                    duration_hours=26, snapshot_interval_s=600.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SMALL)
+
+
+class TestGeneration:
+    def test_shapes_are_consistent(self, trace):
+        n_snapshots = len(trace.snapshot_times)
+        assert trace.unallocated_fraction.shape == (n_snapshots,
+                                                    SMALL.clusters)
+        assert trace.stranded_fraction.shape == (n_snapshots, SMALL.clusters)
+        assert trace.per_server_stranded_gb.shape == (n_snapshots,
+                                                      SMALL.n_servers)
+
+    def test_fractions_bounded(self, trace):
+        assert np.all(trace.unallocated_fraction >= 0)
+        assert np.all(trace.unallocated_fraction <= 1)
+        assert np.all(trace.stranded_fraction
+                      <= trace.unallocated_fraction + 1e-12)
+
+    def test_snapshot_times_increase(self, trace):
+        assert np.all(np.diff(trace.snapshot_times) > 0)
+
+    def test_deterministic_for_seed(self):
+        a = generate_trace(SMALL)
+        b = generate_trace(SMALL)
+        assert np.array_equal(a.unallocated_fraction, b.unallocated_fraction)
+        assert np.array_equal(a.stranding_durations_s,
+                              b.stranding_durations_s)
+
+    def test_different_seeds_differ(self):
+        other = generate_trace(
+            TraceConfig(**{**SMALL.__dict__, "seed": 99}))
+        base = generate_trace(SMALL)
+        assert not np.array_equal(other.unallocated_fraction,
+                                  base.unallocated_fraction)
+
+    def test_stranding_events_occur_under_core_pressure(self, trace):
+        assert len(trace.stranding_durations_s) > 50
+        assert np.all(trace.stranding_durations_s >= 0)
+
+
+class TestAnalysis:
+    def test_utilization_summary_in_plausible_ranges(self, trace):
+        summary = utilization_summary(trace)
+        # Paper anchors: 46% unallocated median, 8% stranded median.
+        assert 0.30 < summary.unallocated_median < 0.70
+        assert 0.01 < summary.stranded_median < 0.20
+        assert summary.stranded_p99 >= summary.stranded_p90
+        assert summary.unallocated_p1 <= summary.unallocated_p10
+        assert summary.peak_to_trough > 1.15
+
+    def test_duration_percentiles_are_minutes_scale(self, trace):
+        p25, p50, p75 = stranding_duration_percentiles(trace)
+        assert p25 <= p50 <= p75
+        # Paper: 6 / 13 / 22 minutes -- same order of magnitude.
+        assert 1 < p50 < 60
+
+    def test_reachability_grows_with_hops(self, trace):
+        medians = [np.median(reachable_stranded_memory(trace, h))
+                   for h in (1, 3, 5)]
+        assert medians[0] < medians[1] < medians[2]
+
+    def test_reachability_at_five_hops_is_dc_total(self, trace):
+        reach = reachable_stranded_memory(trace, 5)
+        assert np.allclose(reach, reach[0])  # everyone reaches everything
+        assert reach[0] == pytest.approx(
+            trace.mean_stranded_gb_per_server.sum())
+
+    def test_rack_reachability_partitions_by_rack(self, trace):
+        reach = reachable_stranded_memory(trace, 1)
+        key = (trace.server_cluster * (trace.server_rack.max() + 1)
+               + trace.server_rack)
+        for rack in np.unique(key):
+            members = reach[key == rack]
+            assert np.allclose(members, members[0])
+
+    def test_invalid_hops_rejected(self, trace):
+        with pytest.raises(ValueError):
+            reachable_stranded_memory(trace, 0)
+
+    def test_cdf_helper(self):
+        values, fractions = reachability_cdf(np.array([3.0, 1.0, 2.0]))
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert fractions[-1] == 1.0

@@ -1,0 +1,90 @@
+"""Tests for preemptive spot-VM migration (SpotGuard)."""
+
+import pytest
+
+from repro.cluster.prediction import SpotLifetimePredictor
+from repro.core import Slo
+from repro.core.guard import SpotGuard
+from repro.workloads.scenarios import build_cluster
+
+REGION = 1 << 20
+SLO = Slo(max_latency=1e-3, min_throughput=1e4, record_size=64)
+
+
+def make_cache(harness, capacity=2 * REGION):
+    client = harness.redy_client("guard-app")
+    return client.create(capacity, SLO, duration_s=3600.0,
+                         region_bytes=REGION)
+
+
+def trained_predictor(median_lifetime=300.0):
+    predictor = SpotLifetimePredictor(min_samples=3)
+    for vm_type in ("d2", "d4", "d8", "e2", "e4"):
+        for factor in (0.5, 0.8, 1.0, 1.3, 1.9):
+            predictor.observe(vm_type, median_lifetime * factor,
+                              reclaimed=True)
+    return predictor
+
+
+class TestSpotGuard:
+    def test_preemptive_migration_fires_at_safe_age(self):
+        harness = build_cluster(seed=4)
+        cache = make_cache(harness)
+        predictor = trained_predictor(median_lifetime=300.0)
+        vm_type = cache.allocation.vms[0].vm_type.name
+        threshold = predictor.safe_age(vm_type, risk=0.1)
+        guard = SpotGuard(cache, predictor, check_interval_s=5.0, risk=0.1)
+
+        harness.env.run(until=threshold - 10.0)
+        assert guard.preemptive_migrations == 0
+        harness.env.run(until=threshold + 30.0)
+        assert guard.preemptive_migrations == 1
+        assert cache.migrations, "regions should have moved"
+        # The original VM was released voluntarily (no failure).
+        assert cache.migration_failures == 0
+
+    def test_data_survives_preemptive_move(self):
+        harness = build_cluster(seed=5)
+        cache = make_cache(harness)
+        predictor = trained_predictor(median_lifetime=100.0)
+        SpotGuard(cache, predictor, check_interval_s=2.0, risk=0.1)
+
+        def scenario(env):
+            result = yield cache.write(0, b"guarded-data")
+            assert result.ok
+            yield env.timeout(200.0)  # well past the safe age
+            result = yield cache.read(0, 12)
+            return result
+
+        result = harness.env.run_process(scenario(harness.env))
+        assert result.ok and result.data == b"guarded-data"
+        assert cache.migrations
+
+    def test_no_model_means_no_action(self):
+        harness = build_cluster(seed=6)
+        cache = make_cache(harness)
+        guard = SpotGuard(cache, SpotLifetimePredictor(),
+                          check_interval_s=5.0)
+        harness.env.run(until=500.0)
+        assert guard.preemptive_migrations == 0
+
+    def test_guard_defers_to_active_reclaim_notice(self):
+        harness = build_cluster(seed=7)
+        cache = make_cache(harness)
+        # Long predicted lifetimes: the guard would never act on age.
+        predictor = trained_predictor(median_lifetime=1e6)
+        guard = SpotGuard(cache, predictor, check_interval_s=1.0)
+        # A real notice arrives; the normal reclaim path must handle it
+        # alone while the guard keeps polling without interfering.
+        harness.allocator.reclaim(cache.allocation.vms[0])
+        harness.env.run(until=100.0)
+        assert cache.migrations
+        assert guard.preemptive_migrations == 0
+
+    def test_validation(self):
+        harness = build_cluster(seed=8)
+        cache = make_cache(harness)
+        with pytest.raises(ValueError):
+            SpotGuard(cache, SpotLifetimePredictor(), check_interval_s=0)
+        with pytest.raises(ValueError):
+            SpotGuard(cache, SpotLifetimePredictor(), risk=1.5)

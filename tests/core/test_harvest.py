@@ -1,0 +1,130 @@
+"""Tests for harvest-VM caches: stranded memory as a cache substrate."""
+
+import pytest
+
+from repro.cluster import AllocationError
+from repro.core import Slo
+from repro.core.manager import SloUnsatisfiableError
+from repro.workloads.scenarios import build_cluster, strand_servers
+
+REGION = 4 << 20
+#: One-sided caches serve low-latency / modest-throughput SLOs.
+EASY_SLO = Slo(max_latency=50e-6, min_throughput=1e5, record_size=64)
+#: Throughput this high needs batching, i.e. server threads.
+HEAVY_SLO = Slo(max_latency=1e-2, min_throughput=1e8, record_size=8)
+
+
+@pytest.fixture()
+def stack():
+    harness = build_cluster(seed=12)
+    strand_servers(harness, count=3)
+    client = harness.redy_client("harvest-app")
+    return harness, client
+
+
+class TestHarvestAllocation:
+    def test_harvest_cache_lands_on_stranded_servers(self, stack):
+        harness, client = stack
+        cache = client.create(4 * REGION, EASY_SLO, region_bytes=REGION,
+                              harvest=True)
+        for vm in cache.allocation.vms:
+            assert vm.vm_type.cores == 0
+            assert vm.spot
+            # The host had all cores taken before the harvest VM arrived.
+            assert vm.server.free_cores == 0
+
+    def test_harvest_config_is_one_sided(self, stack):
+        harness, client = stack
+        cache = client.create(4 * REGION, EASY_SLO, region_bytes=REGION,
+                              harvest=True)
+        assert cache.allocation.config.server_threads == 0
+        assert cache.allocation.config.uses_one_sided
+
+    def test_harvest_is_essentially_free(self, stack):
+        harness, client = stack
+        harvest = client.create(4 * REGION, EASY_SLO, region_bytes=REGION,
+                                harvest=True)
+        paid = client.create(4 * REGION, EASY_SLO, region_bytes=REGION)
+        # §8.3: "it saves memory cost by 100%".
+        assert harvest.allocation.hourly_cost < 0.02 * \
+            paid.allocation.hourly_cost
+
+    def test_io_round_trips_on_harvest_cache(self, stack):
+        harness, client = stack
+        cache = client.create(2 * REGION, EASY_SLO, region_bytes=REGION,
+                              harvest=True)
+
+        def scenario(env):
+            yield cache.write(100, b"free-as-in-stranded")
+            return (yield cache.read(100, 19))
+
+        result = harness.env.run_process(scenario(harness.env))
+        assert result.ok and result.data == b"free-as-in-stranded"
+
+    def test_throughput_slo_beyond_one_sided_fails(self, stack):
+        harness, client = stack
+        with pytest.raises(SloUnsatisfiableError):
+            client.create(2 * REGION, HEAVY_SLO, region_bytes=REGION,
+                          harvest=True)
+
+    def test_no_stranded_capacity_fails_cleanly(self):
+        harness = build_cluster(seed=13)  # nothing stranded
+        client = harness.redy_client("no-strand-app")
+        with pytest.raises(SloUnsatisfiableError):
+            client.create(REGION, EASY_SLO, region_bytes=REGION,
+                          harvest=True)
+
+
+class TestHarvestDynamics:
+    def test_harvest_reclaim_migrates_to_another_stranded_server(
+            self, stack):
+        harness, client = stack
+        cache = client.create(2 * REGION, EASY_SLO, region_bytes=REGION,
+                              harvest=True)
+
+        def scenario(env):
+            yield cache.write(0, b"nomadic")
+            vm = cache.allocation.vms[0]
+            old_host = vm.server.server_id
+            harness.allocator.reclaim(vm)
+            yield env.timeout(35.0)  # notice + migration
+            result = yield cache.read(0, 7)
+            assert result.ok and result.data == b"nomadic"
+            new_host = cache.allocation.vms[-1].server.server_id
+            assert new_host != old_host
+            assert harness.allocator.servers[new_host].free_cores == 0
+
+        harness.env.run_process(scenario(harness.env))
+
+    def test_paying_allocation_evicts_blocking_harvest_vms(self):
+        """Harvested memory yields to paying tenants: when a full-price
+        VM cannot fit because harvest VMs hold the memory, the allocator
+        starts reclaiming them."""
+        from repro.cluster.vmtypes import AZURE_MENU
+
+        harness = build_cluster(seed=14, n_servers=1)
+        server = harness.allocator.servers[0]
+        # A synthetic tenant strands the server (all 48 cores, 80 GB).
+        server.place(-1, server.cores, 80.0)
+        client = harness.redy_client("evictable-app")
+        # A large harvest cache grabs most of the stranded 304 GB
+        # (unbacked regions: this test is about accounting, not bytes).
+        giant_region = 8 << 30
+        cache = client.create(34 * giant_region, EASY_SLO,
+                              region_bytes=giant_region, harvest=True,
+                              backed=False)
+        harvest_vms = list(cache.allocation.vms)
+        # The tenant departs: cores free up, the server can host paying
+        # VMs again -- but the harvest memory is still in the way for a
+        # big memory-optimized request.
+        server.evict(-1)
+        free_before = server.free_memory_gb
+        e32 = next(t for t in AZURE_MENU if t.name == "e32")
+        assert free_before < e32.memory_gb  # genuinely blocked
+        with pytest.raises(AllocationError, match="reclaiming"):
+            harness.allocator.allocate(e32)
+        assert any(vm.reclaim_deadline is not None for vm in harvest_vms)
+        # After the notice period the memory is back and the paying VM
+        # fits.
+        harness.env.run(until=60.0)
+        assert harness.allocator.allocate(e32).alive

@@ -1,0 +1,77 @@
+"""Tests for the measurement application (Figure 9)."""
+
+import pytest
+
+from repro.core import RdmaConfig
+from repro.core.measurement import measure_config, placements_for_hops
+from repro.sim.clock import US
+
+
+class TestPlacements:
+    def test_three_canonical_distances(self):
+        one = placements_for_hops(1)
+        assert one[0].switch_hops_to(one[1]) == 1
+        three = placements_for_hops(3)
+        assert three[0].switch_hops_to(three[1]) == 3
+        five = placements_for_hops(5)
+        assert five[0].switch_hops_to(five[1]) == 5
+
+    def test_other_distances_rejected(self):
+        with pytest.raises(ValueError):
+            placements_for_hops(2)
+
+
+class TestMeasureConfig:
+    def test_latency_optimal_anchor(self):
+        """8-byte one-sided writes land at the paper's 4.1us."""
+        result = measure_config(RdmaConfig(5, 0, 1, 1), 8,
+                                read_fraction=0.0, seed=1)
+        assert result.latency_mean == pytest.approx(4.1 * US, rel=0.08)
+        assert result.throughput == pytest.approx(1.2e6, rel=0.15)
+
+    def test_reads_slower_than_writes_for_small_records(self):
+        config = RdmaConfig(1, 0, 1, 1)
+        writes = measure_config(config, 8, read_fraction=0.0, seed=1)
+        reads = measure_config(config, 8, read_fraction=1.0, seed=1)
+        assert reads.latency_mean > writes.latency_mean
+
+    def test_deterministic_given_seed(self):
+        config = RdmaConfig(2, 1, 4, 4)
+        a = measure_config(config, 64, seed=9)
+        b = measure_config(config, 64, seed=9)
+        assert a == b
+
+    def test_percentiles_ordered(self):
+        result = measure_config(RdmaConfig(2, 2, 8, 4), 64, seed=3)
+        assert result.latency_p50 <= result.latency_mean * 1.5
+        assert result.latency_p50 <= result.latency_p99
+
+    def test_extra_outstanding_increases_latency(self):
+        """Saturating the batch ring (the Figure 7 operating point)
+        inflates observed latency without helping throughput much."""
+        config = RdmaConfig(1, 0, 1, 4)
+        normal = measure_config(config, 8, seed=4)
+        saturated = measure_config(config, 8, extra_outstanding=4, seed=4)
+        assert saturated.latency_mean > normal.latency_mean
+        assert saturated.throughput < normal.throughput * 1.5
+
+    def test_switch_hops_raise_latency(self):
+        config = RdmaConfig(1, 0, 1, 1)
+        lat = {
+            hops: measure_config(config, 8, switch_hops=hops,
+                                 seed=5).latency_mean
+            for hops in (1, 3, 5)
+        }
+        assert lat[1] < lat[3] < lat[5]
+        # Each extra pair of hops adds ~2 x 0.75us x 2 directions = 3us.
+        assert lat[3] - lat[1] == pytest.approx(3 * US, rel=0.15)
+
+    def test_throughput_scales_with_client_threads(self):
+        one = measure_config(RdmaConfig(1, 0, 1, 4), 8, seed=6)
+        four = measure_config(RdmaConfig(4, 0, 1, 4), 8, seed=6)
+        assert four.throughput == pytest.approx(4 * one.throughput, rel=0.2)
+
+    def test_batching_multiplies_throughput(self):
+        unbatched = measure_config(RdmaConfig(2, 2, 1, 4), 8, seed=7)
+        batched = measure_config(RdmaConfig(2, 2, 64, 4), 8, seed=7)
+        assert batched.throughput > 5 * unbatched.throughput

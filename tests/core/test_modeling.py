@@ -1,0 +1,137 @@
+"""Tests for offline modeling: interpolation and early termination."""
+
+import pytest
+
+from repro.core import PerfPoint, RdmaConfig
+from repro.core.latency import DataPathModel
+from repro.core.modeling import (
+    OfflineModeler,
+    PerfModel,
+    make_analytic_measurer,
+    make_engine_measurer,
+)
+from repro.core.space import ConfigSpace
+from repro.hardware import AZURE_HPC
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return ConfigSpace(max_client_threads=8, record_size=64,
+                       max_queue_depth=16)
+
+
+@pytest.fixture(scope="module")
+def noiseless_model(small_space):
+    measurer = make_analytic_measurer(record_size=64, noise=0.0)
+    model, stats = OfflineModeler(
+        small_space, measurer, early_termination=False).build()
+    return model
+
+
+class TestInterpolation:
+    def test_exact_at_grid_points(self, small_space, noiseless_model):
+        analytic = DataPathModel(AZURE_HPC, 1)
+        for config in small_space.iter_grid():
+            predicted = noiseless_model.predict(config)
+            truth = analytic.evaluate(config, 64)
+            assert predicted.latency == pytest.approx(truth.latency, rel=1e-9)
+            assert predicted.throughput == pytest.approx(
+                truth.throughput, rel=1e-9)
+
+    def test_midpoint_is_mean_of_neighbours(self, small_space,
+                                            noiseless_model):
+        """The paper's example: f(1,1,1,3) estimated as the mean of
+        f(1,1,1,2) and f(1,1,1,4) -- here with the q=4..16 grid we check
+        q=6 against q=4 and q=8."""
+        low = noiseless_model.predict(RdmaConfig(1, 1, 2, 4))
+        high = noiseless_model.predict(RdmaConfig(1, 1, 2, 8))
+        mid = noiseless_model.predict(RdmaConfig(1, 1, 2, 6))
+        assert mid.latency == pytest.approx((low.latency + high.latency) / 2)
+        assert mid.throughput == pytest.approx(
+            (low.throughput + high.throughput) / 2)
+
+    def test_interpolation_error_is_modest(self, small_space,
+                                           noiseless_model):
+        """Off-grid predictions track the analytic truth (§7.3 accuracy)."""
+        analytic = DataPathModel(AZURE_HPC, 1)
+        worst = 0.0
+        for config in (RdmaConfig(3, 1, 3, 5), RdmaConfig(5, 3, 12, 6),
+                       RdmaConfig(7, 5, 48, 11), RdmaConfig(6, 2, 20, 13)):
+            predicted = noiseless_model.predict(config)
+            truth = analytic.evaluate(config, 64)
+            worst = max(worst,
+                        abs(predicted.latency / truth.latency - 1),
+                        abs(predicted.throughput / truth.throughput - 1))
+        assert worst < 0.5
+
+    def test_one_sided_slab_is_separate(self, noiseless_model):
+        """s=0 configs never mix with two-sided measurements."""
+        analytic = DataPathModel(AZURE_HPC, 1)
+        predicted = noiseless_model.predict(RdmaConfig(3, 0, 1, 6))
+        truth = analytic.evaluate(RdmaConfig(3, 0, 1, 6), 64)
+        assert predicted.latency == pytest.approx(truth.latency, rel=0.3)
+
+    def test_bounds_span_the_model(self, noiseless_model):
+        best, worst = noiseless_model.bounds()
+        assert best.latency < worst.latency
+        assert best.throughput > worst.throughput
+
+
+class TestEarlyTermination:
+    def test_early_termination_reduces_measurements(self, small_space):
+        measurer = make_analytic_measurer(record_size=64, noise=0.0)
+        _, with_et = OfflineModeler(
+            small_space, measurer, early_termination=True).build()
+        _, without_et = OfflineModeler(
+            small_space, measurer, early_termination=False).build()
+        assert with_et.measured < without_et.measured
+        assert without_et.estimated == 0
+        assert (with_et.measured + with_et.estimated
+                == without_et.measured == small_space.grid_size())
+
+    def test_model_quality_survives_early_termination(self, small_space):
+        measurer = make_analytic_measurer(record_size=64, noise=0.0)
+        model_et, _ = OfflineModeler(
+            small_space, measurer, early_termination=True).build()
+        analytic = DataPathModel(AZURE_HPC, 1)
+        # The throughput ceiling must not collapse (the regression we
+        # guard against: terminating across the one-/two-sided boundary).
+        best_et, _ = model_et.bounds()
+        truth_best = max(
+            analytic.evaluate(config, 64).throughput
+            for config in small_space.iter_grid())
+        assert best_et.throughput > 0.5 * truth_best
+
+    def test_campaign_stats(self, small_space):
+        measurer = make_analytic_measurer(record_size=64, noise=0.0)
+        _, stats = OfflineModeler(small_space, measurer).build()
+        assert stats.space_size == small_space.size()
+        assert stats.campaign_minutes == stats.measured
+        assert stats.naive_campaign_years > 0
+
+
+class TestPaperScaleCampaign:
+    def test_paper_example_measurement_budget(self):
+        """§5.2: ~3M configs reduced to ~1-2k measurements, ~15 hours."""
+        space = ConfigSpace(30, 8, 16)
+        measurer = make_analytic_measurer(record_size=8, noise=0.03, seed=1)
+        _, stats = OfflineModeler(space, measurer).build()
+        assert stats.space_size > 3_000_000
+        assert stats.measured + stats.estimated == stats.grid_size < 2000
+        assert stats.measured <= 1000
+        # Naive campaign would take years; ours takes hours.
+        assert stats.naive_campaign_years > 5
+        assert stats.campaign_minutes / 60 < 24
+
+
+class TestEngineMeasurer:
+    def test_engine_measurer_agrees_with_analytic(self):
+        """The simulated-testbed measurer and the analytic model must tell
+        the same story (they share the same cost constants)."""
+        config = RdmaConfig(2, 1, 4, 4)
+        engine = make_engine_measurer(record_size=64, seed=2,
+                                      batches_per_connection=80)(config)
+        analytic = DataPathModel(AZURE_HPC, 1).evaluate(config, 64)
+        assert engine.latency == pytest.approx(analytic.latency, rel=0.45)
+        assert engine.throughput == pytest.approx(analytic.throughput,
+                                                  rel=0.45)

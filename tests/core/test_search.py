@@ -1,0 +1,133 @@
+"""Tests for the Figure 10 online SLO search."""
+
+import numpy as np
+import pytest
+
+from repro.core import PerfPoint, RdmaConfig, Slo
+from repro.core.latency import DataPathModel
+from repro.core.modeling import OfflineModeler, make_analytic_measurer
+from repro.core.search import SloSearcher
+from repro.core.space import ConfigSpace
+from repro.hardware import AZURE_HPC
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConfigSpace(max_client_threads=8, record_size=64,
+                       max_queue_depth=16)
+
+
+@pytest.fixture(scope="module")
+def model(space):
+    measurer = make_analytic_measurer(record_size=64, noise=0.0)
+    built, _ = OfflineModeler(space, measurer).build()
+    return built
+
+
+@pytest.fixture(scope="module")
+def searcher(model):
+    return SloSearcher.for_model(model)
+
+
+class TestSearchOutcomes:
+    def test_loose_slo_returns_cheapest_config(self, searcher):
+        slo = Slo(max_latency=1.0, min_throughput=1.0, record_size=64)
+        config = searcher.search(slo)
+        # Everything satisfies this; pre-order must return the very first
+        # leaf: one-sided, one client thread, minimum queue depth.
+        assert config == RdmaConfig(1, 0, 1, 4)
+
+    def test_impossible_latency_returns_none(self, searcher):
+        slo = Slo(max_latency=1e-9, min_throughput=1.0, record_size=64)
+        assert searcher.search(slo) is None
+
+    def test_impossible_throughput_returns_none(self, searcher, model):
+        best, _ = model.bounds()
+        slo = Slo(max_latency=1.0, min_throughput=best.throughput * 10,
+                  record_size=64)
+        assert searcher.search(slo) is None
+
+    def test_found_config_satisfies_slo_per_model(self, searcher, model):
+        slo = Slo(max_latency=50e-6, min_throughput=5e6, record_size=64)
+        config = searcher.search(slo)
+        assert config is not None
+        perf = model.predict(config)
+        assert perf.latency <= slo.max_latency
+        assert perf.throughput >= slo.min_throughput
+
+    def test_minimal_server_threads_guarantee(self, searcher, model, space):
+        """The returned config has the fewest server threads of any
+        satisfying config (the paper's cost-minimality claim)."""
+        slo = Slo(max_latency=100e-6, min_throughput=10e6, record_size=64)
+        config = searcher.search(slo)
+        assert config is not None
+        for s in range(config.server_threads):
+            for c in space.c_values(s):
+                for b in space.b_values(s):
+                    for q in space.q_values():
+                        candidate = RdmaConfig(c, s, b, q)
+                        assert not Slo(
+                            max_latency=slo.max_latency,
+                            min_throughput=slo.min_throughput,
+                            record_size=64,
+                        ).is_satisfied_by(model.predict(candidate))
+
+    def test_demanding_throughput_needs_more_cores(self, searcher):
+        light = searcher.search(
+            Slo(max_latency=1.0, min_throughput=1e5, record_size=64))
+        heavy = searcher.search(
+            Slo(max_latency=1.0, min_throughput=3e7, record_size=64))
+        assert heavy is not None
+        assert heavy.total_cores > light.total_cores
+
+
+class TestSearchMechanics:
+    def test_pruning_reduces_leaf_evaluations(self, model):
+        on = SloSearcher.for_model(model, pruning=True,
+                                   throughput_bound=False)
+        off = SloSearcher.for_model(model, pruning=False,
+                                    throughput_bound=False)
+        rng = np.random.default_rng(3)
+        best, worst = model.bounds()
+        on_total = off_total = 0
+        for _ in range(10):
+            slo = Slo(
+                max_latency=rng.uniform(best.latency, worst.latency),
+                min_throughput=rng.uniform(worst.throughput, best.throughput),
+                record_size=64)
+            found_on = on.search(slo)
+            found_off = off.search(slo)
+            assert (found_on is None) == (found_off is None)
+            on_total += on.stats.leaves_evaluated
+            off_total += off.stats.leaves_evaluated
+        assert on_total < off_total  # paper: ~25% fewer
+
+    def test_vectorized_and_scalar_traversals_agree(self, model, space):
+        fast = SloSearcher.for_model(model)
+        slow = SloSearcher(space=space, predictor=model.predict)
+        rng = np.random.default_rng(11)
+        best, worst = model.bounds()
+        for _ in range(12):
+            slo = Slo(
+                max_latency=rng.uniform(best.latency, worst.latency),
+                min_throughput=rng.uniform(worst.throughput, best.throughput),
+                record_size=64)
+            assert fast.search(slo) == slow.search(slo)
+
+    def test_stats_reset_per_search(self, searcher):
+        slo = Slo(max_latency=1.0, min_throughput=1.0, record_size=64)
+        searcher.search(slo)
+        first = searcher.stats.leaves_evaluated
+        searcher.search(slo)
+        assert searcher.stats.leaves_evaluated == first
+
+    def test_search_with_plain_predictor(self, space):
+        """The searcher also works straight off the analytic model."""
+        analytic = DataPathModel(AZURE_HPC, 1)
+        searcher = SloSearcher(
+            space=space,
+            predictor=lambda config: analytic.evaluate(config, 64))
+        config = searcher.search(
+            Slo(max_latency=20e-6, min_throughput=1e6, record_size=64))
+        assert config is not None
+        assert config.server_threads == 0  # one-sided satisfies this SLO

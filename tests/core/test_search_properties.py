@@ -1,0 +1,56 @@
+"""Property-based correctness of the Figure 10 search.
+
+On spaces small enough to enumerate exhaustively, the search must be
+*sound* (a returned configuration satisfies the SLO under the
+predictor), *complete* (None only when no configuration satisfies it),
+and *cost-minimal in server threads* (the paper's pre-order guarantee).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RdmaConfig, Slo
+from repro.core.latency import DataPathModel
+from repro.core.search import SloSearcher
+from repro.core.space import ConfigSpace
+from repro.hardware import AZURE_HPC
+
+MODEL = DataPathModel(AZURE_HPC, switch_hops=1)
+
+
+def exhaustive_satisfying(space, predictor, slo):
+    return [config for config in space.iter_preorder()
+            if slo.is_satisfied_by(predictor(config))]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    C=st.integers(1, 4),
+    record_exp=st.integers(9, 13),        # 512 B .. 8 KB: small b ranges
+    Q=st.integers(4, 7),
+    latency_us=st.floats(1.0, 500.0),
+    tput_mops=st.floats(0.001, 50.0),
+)
+def test_property_search_matches_exhaustive_enumeration(
+        C, record_exp, Q, latency_us, tput_mops):
+    record = 2 ** record_exp
+    space = ConfigSpace(max_client_threads=C, record_size=record,
+                        max_queue_depth=Q)
+    predictor = lambda config: MODEL.evaluate(config, record)  # noqa: E731
+    slo = Slo(max_latency=latency_us * 1e-6,
+              min_throughput=tput_mops * 1e6, record_size=record)
+
+    found = SloSearcher(space=space, predictor=predictor).search(slo)
+    satisfying = exhaustive_satisfying(space, predictor, slo)
+
+    if found is None:
+        assert satisfying == []
+    else:
+        # Sound: the result satisfies the SLO.
+        assert slo.is_satisfied_by(predictor(found))
+        assert satisfying, "search found a config enumeration missed"
+        # Pre-order minimality: the search returns the first satisfying
+        # configuration in the cheapest-hardware-first order.
+        assert found == satisfying[0]
+        # In particular it has the fewest server threads possible.
+        min_s = min(c.server_threads for c in satisfying)
+        assert found.server_threads == min_s

@@ -1,0 +1,93 @@
+"""Unit tests for the virtual configuration tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, RdmaConfig
+from repro.core.space import ConfigSpace
+
+
+@pytest.fixture(scope="module")
+def paper_space():
+    """The §5.2 example: C=30, 8-byte records, Q=16."""
+    return ConfigSpace(max_client_threads=30, record_size=8,
+                       max_queue_depth=16)
+
+
+class TestLevels:
+    def test_s_ranges_zero_to_c(self, paper_space):
+        assert list(paper_space.s_values())[:3] == [0, 1, 2]
+        assert list(paper_space.s_values())[-1] == 30
+
+    def test_c_lower_bound_tracks_s(self, paper_space):
+        assert paper_space.c_values(0)[0] == 1
+        assert paper_space.c_values(5)[0] == 5
+        assert paper_space.c_values(30)[0] == 30
+
+    def test_b_forced_to_one_without_server_threads(self, paper_space):
+        assert list(paper_space.b_values(0)) == [1]
+        assert list(paper_space.b_values(1))[-1] == 512
+
+    def test_q_starts_at_optimized_minimum(self, paper_space):
+        values = list(paper_space.q_values())
+        assert values[0] == 4 and values[-1] == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConfigSpace(0, 8, 16)
+        with pytest.raises(ConfigurationError):
+            ConfigSpace(4, 8, 16, min_queue_depth=20)
+
+
+class TestEnumeration:
+    def test_size_matches_paper(self, paper_space):
+        assert paper_space.size() == 3_095_430
+
+    def test_preorder_count_matches_size_small(self):
+        space = ConfigSpace(max_client_threads=3, record_size=2048,
+                            max_queue_depth=6)
+        configs = list(space.iter_preorder())
+        assert len(configs) == space.size()
+        assert len(set(configs)) == len(configs)
+
+    def test_preorder_is_cheap_hardware_first(self):
+        space = ConfigSpace(max_client_threads=2, record_size=2048,
+                            max_queue_depth=5)
+        configs = list(space.iter_preorder())
+        # s is the slowest-varying parameter; q the fastest.
+        assert configs[0] == RdmaConfig(1, 0, 1, 4)
+        assert configs[1] == RdmaConfig(1, 0, 1, 5)
+        s_sequence = [c.server_threads for c in configs]
+        assert s_sequence == sorted(s_sequence)
+
+    def test_contains(self, paper_space):
+        assert paper_space.contains(RdmaConfig(30, 30, 512, 16))
+        assert paper_space.contains(RdmaConfig(1, 0, 1, 4))
+        assert not paper_space.contains(RdmaConfig(1, 0, 1, 2))  # q < min
+        assert not paper_space.contains(RdmaConfig(1, 1, 600, 4))  # b > cap
+
+
+class TestGrid:
+    def test_grid_is_powers_of_two_plus_limits(self, paper_space):
+        assert paper_space.grid_s_values() == [0, 1, 2, 4, 8, 16, 30]
+        assert paper_space.grid_b_values(1) == [1, 2, 4, 8, 16, 32, 64, 128,
+                                                256, 512]
+        assert paper_space.grid_q_values() == [4, 8, 16]
+
+    def test_grid_respects_c_ge_s(self, paper_space):
+        assert min(paper_space.grid_c_values(8)) >= 8
+        for config in paper_space.iter_grid():
+            assert config.server_threads <= config.client_threads
+
+    def test_grid_is_a_tiny_fraction_of_the_space(self, paper_space):
+        # §5.2: interpolation cuts ~3M to under two thousand.
+        assert paper_space.grid_size() < 2000
+        assert paper_space.grid_size() == len(list(paper_space.iter_grid()))
+
+    @settings(max_examples=25, deadline=None)
+    @given(C=st.integers(1, 16), record_exp=st.integers(3, 12),
+           Q=st.integers(4, 16))
+    def test_property_grid_subset_of_space(self, C, record_exp, Q):
+        space = ConfigSpace(C, 2 ** record_exp, Q)
+        for config in space.iter_grid():
+            assert space.contains(config)

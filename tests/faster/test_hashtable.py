@@ -1,0 +1,138 @@
+"""Tests for the open-addressing hash index, including a dict-model
+property check and a drop-in test inside FasterKv."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faster.address import NULL_ADDRESS
+from repro.faster.hashtable import OpenAddressingIndex
+
+
+class TestBasics:
+    def test_lookup_missing(self):
+        index = OpenAddressingIndex()
+        assert index.lookup(42) == NULL_ADDRESS
+
+    def test_update_lookup_supersede(self):
+        index = OpenAddressingIndex()
+        index.update(42, 100)
+        assert index.lookup(42) == 100
+        index.update(42, 200)
+        assert index.lookup(42) == 200
+        assert len(index) == 1
+
+    def test_negative_keys(self):
+        index = OpenAddressingIndex()
+        index.update(-7, 10)
+        assert index.lookup(-7) == 10
+        assert -7 in index
+
+    def test_sentinel_keys_rejected(self):
+        index = OpenAddressingIndex()
+        with pytest.raises(ValueError):
+            index.update(np.iinfo(np.int64).min, 1)
+
+    def test_delete_and_reinsert(self):
+        index = OpenAddressingIndex()
+        index.update(1, 10)
+        assert index.delete(1)
+        assert not index.delete(1)
+        assert index.lookup(1) == NULL_ADDRESS
+        index.update(1, 20)
+        assert index.lookup(1) == 20
+
+    def test_compare_and_update(self):
+        index = OpenAddressingIndex()
+        assert index.compare_and_update(9, NULL_ADDRESS, 5)
+        assert not index.compare_and_update(9, NULL_ADDRESS, 6)
+        assert index.compare_and_update(9, 5, 6)
+        assert index.lookup(9) == 6
+
+    def test_invalid_address_rejected(self):
+        index = OpenAddressingIndex()
+        with pytest.raises(ValueError):
+            index.update(1, -3)
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        index = OpenAddressingIndex(initial_capacity=8)
+        for key in range(1000):
+            index.update(key, key * 10)
+        assert len(index) == 1000
+        assert index.capacity >= 1000 / OpenAddressingIndex.MAX_LOAD / 2
+        for key in range(1000):
+            assert index.lookup(key) == key * 10
+
+    def test_load_factor_bounded(self):
+        index = OpenAddressingIndex(initial_capacity=8)
+        for key in range(500):
+            index.update(key, 1)
+        assert index.load_factor <= OpenAddressingIndex.MAX_LOAD + 1e-9
+
+    def test_deletion_markers_survive_growth(self):
+        index = OpenAddressingIndex(initial_capacity=8)
+        for key in range(100):
+            index.update(key, key)
+        for key in range(0, 100, 2):
+            index.delete(key)
+        for key in range(100, 300):
+            index.update(key, key)  # force growth past the markers
+        for key in range(1, 100, 2):
+            assert index.lookup(key) == key
+        for key in range(0, 100, 2):
+            assert index.lookup(key) == NULL_ADDRESS
+
+    def test_memory_accounting(self):
+        index = OpenAddressingIndex(initial_capacity=64)
+        assert index.memory_bytes == 64 * 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2),
+                          st.integers(-50, 50),
+                          st.integers(0, 10_000)),
+                max_size=300))
+def test_property_matches_dict_model(operations):
+    """Random update/delete/lookup interleavings agree with a dict."""
+    index = OpenAddressingIndex(initial_capacity=8)
+    model = {}
+    for op, key, address in operations:
+        if op == 0:
+            index.update(key, address)
+            model[key] = address
+        elif op == 1:
+            assert index.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            expected = model.get(key, NULL_ADDRESS)
+            assert index.lookup(key) == expected
+    assert len(index) == len(model)
+    for key, address in model.items():
+        assert index.lookup(key) == address
+
+
+def test_drop_in_replacement_inside_fasterkv():
+    from repro.faster import FasterKv, SsdDevice
+    from repro.sim import Environment
+    from repro.sim.resources import Resource
+
+    env = Environment()
+    device = SsdDevice(env, 1 << 20, np.random.default_rng(1))
+    store = FasterKv(env, device, 2048, 8,
+                     index=OpenAddressingIndex(initial_capacity=64))
+    store.load(500)
+    cpu = Resource(env, slots=1)
+
+    def proc(env):
+        outcome = yield from store.read(3, cpu)
+        assert outcome.found
+        assert outcome.value == (3).to_bytes(8, "little")
+        yield from store.upsert(600, b"newentry", cpu)
+        outcome = yield from store.read(600, cpu)
+        return outcome
+
+    outcome = env.run_process(proc(env))
+    assert outcome.found and outcome.value == b"newentry"
+    assert isinstance(store.index, OpenAddressingIndex)

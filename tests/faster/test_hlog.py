@@ -1,0 +1,109 @@
+"""Unit tests for the hybrid log."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faster.devices import LocalMemoryDevice
+from repro.faster.hlog import HybridLog
+from repro.sim import Environment
+
+
+def make_log(memory=1024, device_capacity=1 << 16, page=256,
+             mutable_fraction=0.5):
+    env = Environment()
+    device = LocalMemoryDevice(env, device_capacity)
+    log = HybridLog(env, memory, device, mutable_fraction=mutable_fraction,
+                    page_bytes=page)
+    return env, device, log
+
+
+class TestAppendRead:
+    def test_append_returns_sequential_addresses(self):
+        _, _, log = make_log()
+        a = log.append(b"a" * 32)
+        b = log.append(b"b" * 32)
+        assert (a, b) == (0, 32)
+        assert log.tail_address == 64
+
+    def test_read_back_from_memory(self):
+        _, _, log = make_log()
+        addr = log.append(b"hello-log!")
+        assert log.read(addr, 10) == b"hello-log!"
+
+    def test_oversized_record_rejected(self):
+        _, _, log = make_log(memory=64)
+        with pytest.raises(ValueError):
+            log.append(b"x" * 65)
+
+    def test_wraparound_preserves_content(self):
+        _, _, log = make_log(memory=100, page=20)
+        payloads = [bytes([i]) * 30 for i in range(10)]
+        addrs = [log.append(p) for p in payloads]
+        # The last few records must still be intact despite ring wrap.
+        for addr, payload in zip(addrs[-3:], payloads[-3:]):
+            if log.in_memory(addr):
+                assert log.read(addr, 30) == payload
+
+
+class TestSpill:
+    def test_eviction_spills_to_device(self):
+        _, device, log = make_log(memory=128, page=64)
+        for i in range(8):
+            log.append(bytes([i]) * 32)
+        assert log.head_address > 0
+        assert log.bytes_spilled == log.head_address
+        assert device.watermark == log.head_address
+
+    def test_spilled_data_matches_what_was_appended(self):
+        _, device, log = make_log(memory=128, page=64)
+        payloads = [bytes([i]) * 32 for i in range(8)]
+        addrs = [log.append(p) for p in payloads]
+        for addr, payload in zip(addrs, payloads):
+            if not log.in_memory(addr):
+                assert device.covers(addr)
+                assert device._fetch(addr, 32) == payload
+
+    def test_read_of_spilled_address_returns_none(self):
+        _, _, log = make_log(memory=128, page=64)
+        first = log.append(b"z" * 64)
+        for i in range(4):
+            log.append(bytes([i]) * 64)
+        assert not log.in_memory(first)
+        assert log.read(first, 64) is None
+
+    def test_no_device_drops_evicted_data(self):
+        env = Environment()
+        log = HybridLog(env, 128, None, page_bytes=64)
+        for i in range(4):
+            log.append(bytes([i]) * 64)
+        assert log.bytes_spilled > 0  # no crash without a device
+
+
+class TestRegions:
+    def test_mutable_region_boundary(self):
+        _, _, log = make_log(memory=1000, mutable_fraction=0.5)
+        for i in range(10):
+            log.append(bytes([i]) * 100)
+        assert log.read_only_address == log.tail_address - 500
+        assert log.in_mutable_region(log.tail_address - 100)
+        assert not log.in_mutable_region(log.read_only_address - 1)
+
+    def test_update_in_place_only_in_mutable_region(self):
+        _, _, log = make_log(memory=1000, mutable_fraction=0.5)
+        addrs = [log.append(bytes([i]) * 100) for i in range(10)]
+        assert log.update_in_place(addrs[-1], b"Y" * 100)
+        assert log.read(addrs[-1], 100) == b"Y" * 100
+        assert not log.update_in_place(addrs[0], b"N" * 100)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=200))
+    def test_property_invariants_hold_under_any_append_sequence(self, sizes):
+        _, device, log = make_log(memory=256, page=64,
+                                  device_capacity=1 << 20)
+        for i, size in enumerate(sizes):
+            log.append(bytes([i % 256]) * size)
+            assert log.begin_address <= log.head_address
+            assert log.head_address <= log.read_only_address
+            assert log.read_only_address <= log.tail_address
+            assert log.memory_used <= log.memory_bytes
+            assert device.watermark == log.head_address

@@ -1,0 +1,89 @@
+"""Unit tests for ring buffers, including property-based FIFO checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import RingBuffer, RingFull
+
+
+def test_push_pop_fifo():
+    ring = RingBuffer(4)
+    for i in range(3):
+        ring.push(i)
+    assert [ring.pop() for _ in range(3)] == [0, 1, 2]
+
+
+def test_full_ring_rejects_push():
+    ring = RingBuffer(2)
+    ring.push(1)
+    ring.push(2)
+    assert ring.is_full
+    with pytest.raises(RingFull):
+        ring.push(3)
+    assert not ring.try_push(3)
+
+
+def test_empty_ring_pop():
+    ring = RingBuffer(2)
+    with pytest.raises(IndexError):
+        ring.pop()
+    ok, item = ring.try_pop()
+    assert not ok and item is None
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+
+
+def test_peek_does_not_remove():
+    ring = RingBuffer(2)
+    ring.push("x")
+    assert ring.peek() == "x"
+    assert len(ring) == 1
+
+
+def test_drain_returns_all_in_order():
+    ring = RingBuffer(8)
+    for i in range(5):
+        ring.push(i)
+    assert ring.drain() == [0, 1, 2, 3, 4]
+    assert ring.is_empty
+
+
+def test_counters_track_lifetime_volume():
+    ring = RingBuffer(2)
+    ring.push(1)
+    ring.pop()
+    ring.push(2)
+    ring.push(3)
+    ring.drain()
+    assert ring.total_pushed == 3
+    assert ring.total_popped == 3
+
+
+@given(st.lists(st.integers(), max_size=50),
+       st.integers(min_value=1, max_value=8))
+def test_property_ring_preserves_fifo_order(items, capacity):
+    """Whatever fits in the ring comes out in insertion order."""
+    ring = RingBuffer(capacity)
+    accepted = []
+    for item in items:
+        if ring.try_push(item):
+            accepted.append(item)
+    assert ring.drain() == accepted
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers()), max_size=100))
+def test_property_occupancy_invariants(operations):
+    """0 <= len <= capacity and counters stay consistent at every step."""
+    ring = RingBuffer(4)
+    for is_push, value in operations:
+        if is_push:
+            ring.try_push(value)
+        else:
+            ring.try_pop()
+        assert 0 <= len(ring) <= ring.capacity
+        assert ring.total_pushed - ring.total_popped == len(ring)
+        assert ring.is_full == (ring.free_slots == 0)
+        assert ring.is_empty == (len(ring) == 0)

@@ -1,0 +1,30 @@
+"""Smoke tests for the ``python -m repro`` launcher."""
+
+import pytest
+
+from repro.__main__ import cmd_examples, cmd_list, main
+
+
+def test_list_enumerates_experiments(capsys):
+    assert cmd_list() == 0
+    out = capsys.readouterr().out
+    assert "fig03" in out
+    assert "fig18a" in out
+    assert "abl_" in out
+
+
+def test_examples_enumerates_examples(capsys):
+    assert cmd_examples() == 0
+    out = capsys.readouterr().out
+    assert "quickstart.py" in out
+    assert "spot_eviction.py" in out
+
+
+def test_unknown_experiment_is_an_error(capsys):
+    assert main(["run", "fig99"]) == 1
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_missing_command_exits_with_usage():
+    with pytest.raises(SystemExit):
+        main([])

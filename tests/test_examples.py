@@ -1,0 +1,61 @@
+"""Smoke tests: the example applications must actually run.
+
+The two heavyweight examples (faster_spill, stranded_memory_report) are
+exercised indirectly by the benchmark suite, which runs the same code
+paths at comparable scale; the fast ones run here end to end.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def run_example(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs_the_full_api(capsys):
+    out = run_example("quickstart", capsys)
+    assert "cache created" in out
+    assert "content intact after reshape" in out
+    assert "VMs in use: 0" in out
+
+
+def test_spot_eviction_survives_reclamation(capsys):
+    out = run_example("spot_eviction", capsys)
+    assert "reclaim notice" in out
+    assert "migrated 7 regions" in out
+    assert "all regions verified" in out
+
+
+def test_document_store_survives_reclamation(capsys):
+    out = run_example("document_store", capsys)
+    assert "stored 4 documents" in out
+    assert "after spot reclamation" in out
+    assert "all VMs returned" in out
+
+
+def test_slo_explorer_prints_the_frontier(capsys):
+    out = run_example("slo_explorer", capsys)
+    assert "unsatisfiable" in out
+    assert "harvest" in out
+    assert "$" in out
+
+
+def test_all_examples_at_least_import():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        module = importlib.import_module(path.stem)
+        assert callable(getattr(module, "main", None)), path.stem

@@ -1,0 +1,94 @@
+"""Integration tests: YCSB workloads + runner + the §8.3 scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import YCSB_A, YcsbWorkload, paper_read_only, run_kv_workload
+from repro.workloads.scenarios import build_cluster, build_faster_store
+
+
+class TestYcsbWorkload:
+    def test_paper_workload_is_read_only(self):
+        workload = paper_read_only(1000, 8, "zipfian")
+        _keys, is_read = workload.sample_ops(500, np.random.default_rng(1))
+        assert is_read.all()
+
+    def test_database_bytes_uses_record_footprint(self):
+        workload = paper_read_only(250_000_000, 8)
+        assert workload.database_bytes == pytest.approx(6e9, rel=0.01)
+
+    def test_mix_proportions_respected(self):
+        _keys, is_read = YCSB_A.sample_ops(20_000, np.random.default_rng(2))
+        assert float(is_read.mean()) == pytest.approx(0.5, abs=0.02)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload("bad", 100, 8, read_proportion=0.9,
+                         update_proportion=0.2)
+        with pytest.raises(ValueError):
+            YcsbWorkload("bad", 100, 8, read_proportion=1.0,
+                         update_proportion=0.0, distribution="pareto")
+
+
+def run_scenario(device_kind, n_threads=2, n_records=30_000, n_ops=8_000,
+                 distribution="uniform", **kwargs):
+    scenario = build_faster_store(device_kind, n_records=n_records,
+                                  distribution=distribution, **kwargs)
+    keys, is_read = scenario.workload.sample_ops(
+        n_ops, np.random.default_rng(11))
+    return run_kv_workload(scenario.env, scenario.store,
+                           n_threads=n_threads, keys=keys, is_read=is_read)
+
+
+class TestRunner:
+    def test_throughput_scales_with_threads_on_redy(self):
+        one = run_scenario("redy", n_threads=1)
+        four = run_scenario("redy", n_threads=4)
+        assert four.throughput > 2.5 * one.throughput
+
+    def test_memory_only_store_is_fastest(self):
+        memory = run_scenario("memory")
+        redy = run_scenario("redy")
+        assert memory.throughput > redy.throughput
+        assert memory.memory_hit_fraction == pytest.approx(1.0)
+
+    def test_redy_beats_smb_and_ssd(self):
+        """The §8.3 headline at miniature scale."""
+        redy = run_scenario("redy")
+        smb = run_scenario("smb")
+        ssd = run_scenario("ssd")
+        assert redy.throughput > 3 * smb.throughput
+        assert redy.throughput > 5 * ssd.throughput
+
+    def test_zipfian_faster_than_uniform(self):
+        uniform = run_scenario("redy", distribution="uniform")
+        zipfian = run_scenario("redy", distribution="zipfian")
+        assert zipfian.throughput > uniform.throughput
+        assert zipfian.memory_hit_fraction > uniform.memory_hit_fraction
+
+    def test_update_mix_runs(self):
+        scenario = build_faster_store("ssd", n_records=5_000)
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 5_000, size=3_000)
+        is_read = rng.random(3_000) < 0.5
+        result = run_kv_workload(scenario.env, scenario.store, n_threads=2,
+                                 keys=keys, is_read=is_read,
+                                 update_value=b"\x01" * 8)
+        assert result.throughput > 0
+
+    def test_mismatched_arrays_rejected(self):
+        scenario = build_faster_store("memory", n_records=100)
+        with pytest.raises(ValueError):
+            run_kv_workload(scenario.env, scenario.store, n_threads=1,
+                            keys=np.arange(10), is_read=np.ones(5, bool))
+
+
+class TestClusterHarness:
+    def test_build_cluster_is_deterministic_per_seed(self):
+        a = build_cluster(seed=5)
+        b = build_cluster(seed=5)
+        assert len(a.allocator.servers) == len(b.allocator.servers)
+
+    def test_unknown_device_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_faster_store("tape", n_records=100)
