@@ -21,6 +21,8 @@ import pytest
 from repro.core.modeling import OfflineModeler, make_analytic_measurer
 from repro.core.space import ConfigSpace
 from repro.cluster.traces import TraceConfig, generate_trace
+from repro.obs import MetricsRegistry
+from repro.obs.export import write_json
 from repro.workloads import run_kv_workload
 from repro.workloads.scenarios import build_faster_store
 
@@ -38,6 +40,26 @@ def report():
         (RESULTS_DIR / f"{name}.txt").write_text(text)
 
     return _report
+
+
+@pytest.fixture()
+def bench_metrics(request):
+    """A :class:`repro.obs.MetricsRegistry` for the experiment's runs.
+
+    Pass it to ``measure_config(..., metrics=bench_metrics)`` (or install
+    it on an Environment directly); at teardown any collected metrics are
+    persisted to ``benchmarks/_results/BENCH_<id>.json`` so every bench
+    run leaves a machine-readable latency/throughput blob next to its
+    table, seeding the perf trajectory.
+    """
+    registry = MetricsRegistry()
+    yield registry
+    if len(registry) == 0:
+        return
+    identifier = pathlib.Path(str(request.node.fspath)).stem
+    identifier = identifier.removeprefix("test_").split("_")[0]
+    write_json(RESULTS_DIR / f"BENCH_{identifier}.json", registry,
+               name=identifier, extra={"test": request.node.name})
 
 
 @pytest.fixture(scope="session")

@@ -31,22 +31,23 @@ PAPER_MEDIAN_US = {"lock-free rings": 19.0, "one-sided ops": 12.0,
                    "fully-loaded QPs": 7.1, "NUMA affinity": 5.0}
 
 
-def run_experiment():
+def run_experiment(metrics=None):
     model = DataPathModel(AZURE_HPC, switch_hops=1)
     rows = []
     for label, config in STAGES:
         result = measure_config(config, 8, read_fraction=0.0, seed=5,
                                 extra_outstanding=2,
                                 batches_per_connection=400,
-                                warmup_batches=100)
+                                warmup_batches=100, metrics=metrics)
         network = model.network_round_trip(config, 8, is_read=False)
         rows.append((label, result.latency_p50 * 1e6,
                      result.latency_p99 * 1e6, network * 1e6))
     return rows
 
 
-def test_fig07_optimization_latency(benchmark, report):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig07_optimization_latency(benchmark, report, bench_metrics):
+    rows = benchmark.pedantic(run_experiment, args=(bench_metrics,),
+                              rounds=1, iterations=1)
     lines = [f"{'stage':>18} {'median':>9} {'p99':>9} {'network':>9} "
              f"{'paper-median':>13}"]
     for label, p50, p99, network in rows:

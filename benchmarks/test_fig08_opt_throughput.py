@@ -14,22 +14,23 @@ PAPER_GAIN = {"lock-free rings": 0.687, "one-sided ops": 0.453,
               "fully-loaded QPs": 2.4, "NUMA affinity": 0.52}
 
 
-def run_experiment():
+def run_experiment(metrics=None):
     rows = []
     previous = None
     for label, config in STAGES:
         result = measure_config(config, 8, read_fraction=0.0, seed=5,
                                 extra_outstanding=2,
                                 batches_per_connection=400,
-                                warmup_batches=100)
+                                warmup_batches=100, metrics=metrics)
         gain = (result.throughput / previous - 1.0) if previous else None
         previous = result.throughput
         rows.append((label, result.throughput / 1e6, gain))
     return rows
 
 
-def test_fig08_optimization_throughput(benchmark, report):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig08_optimization_throughput(benchmark, report, bench_metrics):
+    rows = benchmark.pedantic(run_experiment, args=(bench_metrics,),
+                              rounds=1, iterations=1)
     lines = [f"{'stage':>18} {'tput':>9} {'gain':>8} {'paper-gain':>11}"]
     for label, mops, gain in rows:
         gain_text = f"{gain * 100:>+6.1f}%" if gain is not None else "      -"

@@ -28,11 +28,13 @@ def raw_network_latency(size: int, is_read: bool) -> float:
     return latency
 
 
-def run_experiment():
+def run_experiment(metrics=None):
     rows = []
     for size in SIZES:
-        write = measure_config(CONFIG, size, read_fraction=0.0, seed=6)
-        read = measure_config(CONFIG, size, read_fraction=1.0, seed=6)
+        write = measure_config(CONFIG, size, read_fraction=0.0, seed=6,
+                               metrics=metrics)
+        read = measure_config(CONFIG, size, read_fraction=1.0, seed=6,
+                              metrics=metrics)
         rows.append((size, write.latency_mean * 1e6,
                      read.latency_mean * 1e6,
                      raw_network_latency(size, False) * 1e6,
@@ -40,8 +42,9 @@ def run_experiment():
     return rows
 
 
-def test_fig11_latency_by_record_size(benchmark, report):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig11_latency_by_record_size(benchmark, report, bench_metrics):
+    rows = benchmark.pedantic(run_experiment, args=(bench_metrics,),
+                              rounds=1, iterations=1)
     lines = [f"{'size':>7} {'write':>8} {'read':>8} {'raw-wr':>8} "
              f"{'raw-rd':>8}   (paper: 3-4us raw, Redy close)"]
     for size, write, read, raw_write, raw_read in rows:

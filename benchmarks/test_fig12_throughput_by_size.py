@@ -31,21 +31,24 @@ def raw_network_mops(size: int) -> float:
     return min(by_message_rate, by_line_rate) / 1e6
 
 
-def run_experiment():
+def run_experiment(metrics=None):
     rows = []
     for size in SIZES:
         config = throughput_config(size)
         write = measure_config(config, size, read_fraction=0.0, seed=6,
-                               batches_per_connection=60, warmup_batches=15)
+                               batches_per_connection=60, warmup_batches=15,
+                               metrics=metrics)
         read = measure_config(config, size, read_fraction=1.0, seed=6,
-                              batches_per_connection=60, warmup_batches=15)
+                              batches_per_connection=60, warmup_batches=15,
+                              metrics=metrics)
         rows.append((size, config.batch_size, write.throughput / 1e6,
                      read.throughput / 1e6, raw_network_mops(size)))
     return rows
 
 
-def test_fig12_throughput_by_record_size(benchmark, report):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig12_throughput_by_record_size(benchmark, report, bench_metrics):
+    rows = benchmark.pedantic(run_experiment, args=(bench_metrics,),
+                              rounds=1, iterations=1)
     lines = [f"{'size':>7} {'batch':>6} {'write':>9} {'read':>9} "
              f"{'raw-net':>9}   (paper: ~200M at 16B, 10x raw)"]
     for size, batch, write, read, raw in rows:

@@ -5,12 +5,16 @@ Convenience launcher for a repository checkout:
 * ``python -m repro list`` -- enumerate the reproduction experiments;
 * ``python -m repro run fig03`` -- regenerate one table/figure;
 * ``python -m repro run all`` -- regenerate everything;
+* ``python -m repro metrics`` -- run an instrumented measurement and dump
+  its ``repro.obs`` registry (``--json`` for the raw blob);
+* ``python -m repro metrics fig07`` -- show a saved ``BENCH_fig07.json``;
 * ``python -m repro examples`` -- list the example applications.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import subprocess
 import sys
@@ -73,6 +77,46 @@ def cmd_run(identifier: str) -> int:
          "--benchmark-only", "-q", "-s"])
 
 
+def cmd_metrics(identifier: str | None, as_json: bool,
+                queue_depth: int, threads: int, batches: int) -> int:
+    """Dump a run's ``repro.obs`` metrics registry.
+
+    With an experiment id, pretty-print the ``BENCH_<id>.json`` blob a
+    previous benchmark run persisted.  Without one, stand up the
+    measurement testbed (§5.1), run it instrumented, and dump the live
+    registry -- the quickest way to see what the data path measures.
+    """
+    from repro.obs.export import format_table, snapshot
+
+    if identifier is not None:
+        blob_path = _BENCHMARKS / "_results" / f"BENCH_{identifier}.json"
+        if not blob_path.is_file():
+            print(f"no metrics blob at {blob_path}; run the benchmark "
+                  f"first: python -m repro run {identifier}")
+            return 1
+        blob = json.loads(blob_path.read_text())
+        print(json.dumps(blob, indent=2, sort_keys=True) if as_json
+              else format_table(blob))
+        return 0
+
+    from repro.core.config import RdmaConfig
+    from repro.core.measurement import measure_config
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    config = RdmaConfig(threads, 0, 1, queue_depth)
+    result = measure_config(config, 8, seed=7, metrics=registry,
+                            batches_per_connection=batches)
+    blob = snapshot(registry, name="metrics-demo",
+                    extra={"config": repr(config),
+                           "throughput_ops": result.throughput,
+                           "latency_p50": result.latency_p50,
+                           "latency_p99": result.latency_p99})
+    print(json.dumps(blob, indent=2, sort_keys=True) if as_json
+          else format_table(blob))
+    return 0
+
+
 def cmd_examples() -> int:
     if not _EXAMPLES.is_dir():
         print("no examples/ directory found")
@@ -90,6 +134,19 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list reproduction experiments")
     run = sub.add_parser("run", help="regenerate one experiment (or all)")
     run.add_argument("experiment", help="experiment id, e.g. fig03, or all")
+    metrics = sub.add_parser(
+        "metrics",
+        help="dump a run's repro.obs metrics registry")
+    metrics.add_argument(
+        "experiment", nargs="?", default=None,
+        help="saved bench blob to show (e.g. fig07); omit to run a live "
+             "instrumented measurement")
+    metrics.add_argument("--json", action="store_true", dest="as_json",
+                         help="raw JSON instead of the table view")
+    metrics.add_argument("--queue-depth", type=int, default=4)
+    metrics.add_argument("--threads", type=int, default=1)
+    metrics.add_argument("--batches", type=int, default=120,
+                         help="measured batches per connection")
     sub.add_parser("examples", help="list example applications")
     args = parser.parse_args(argv)
 
@@ -98,6 +155,9 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_list()
         if args.command == "run":
             return cmd_run(args.experiment)
+        if args.command == "metrics":
+            return cmd_metrics(args.experiment, args.as_json,
+                               args.queue_depth, args.threads, args.batches)
         return cmd_examples()
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

@@ -36,8 +36,13 @@ from repro.net.fabric import Endpoint
 from repro.net.memory import MemoryRegion
 from repro.net.qp import QueuePair
 from repro.net.verbs import RdmaOp, WorkRequest
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Environment, Event
 from repro.sim.resources import Resource, Store
+
+#: Batch-weight histogram buckets: powers of two up to the largest batch
+#: size the config space explores.
+_BATCH_WEIGHT_BUCKETS = tuple(float(1 << i) for i in range(11))
 
 __all__ = ["CacheDataPath", "EngineError"]
 
@@ -115,6 +120,22 @@ class CacheDataPath:
             profile.cpu.numa_penalty_mean, profile.cpu.numa_penalty_p99)
         self._lock_sigma = _lognormal_sigma(
             profile.cpu.lock_contention_mean, profile.cpu.lock_contention_p99)
+        metrics = registry_of(env)
+        if metrics is not None:
+            self._op_latency = metrics.histogram("engine.op_latency")
+            self._credit_wait = metrics.histogram("engine.credit_wait")
+            self._batch_weight = metrics.histogram(
+                "engine.batch_weight", bounds=_BATCH_WEIGHT_BUCKETS)
+            self._completed_counter = metrics.counter("engine.ops_completed")
+            self._failed_counter = metrics.counter("engine.ops_failed")
+            self._timeout_counter = metrics.counter("engine.timeouts")
+        else:
+            self._op_latency = None
+            self._credit_wait = None
+            self._batch_weight = None
+            self._completed_counter = None
+            self._failed_counter = None
+            self._timeout_counter = None
         for thread in self.threads:
             env.process(self._completion_loop(thread),
                         name=f"redy-client:{client_endpoint.name}:"
@@ -254,7 +275,12 @@ class CacheDataPath:
                     break
                 batch_ops.append(op)
                 weight += op.weight
+            if self._batch_weight is not None:
+                self._batch_weight.observe(weight)
+            credit_wait_started = self.env.now
             yield connection.credits.get()
+            if self._credit_wait is not None:
+                self._credit_wait.observe(self.env.now - credit_wait_started)
 
             yield thread.cpu.acquire()
             work = (cpu.batch_prepare + nic.doorbell
@@ -331,21 +357,24 @@ class CacheDataPath:
                                 batch: RequestBatch):
         """Fail a batch whose response never arrives (§6.2 failures)."""
         yield self.env.timeout(self.op_timeout)
-        self._abort_batch(
+        timed_out = self._abort_batch(
             connection, batch,
             f"no response from {connection.server.endpoint.name} within "
             f"{self.op_timeout}s")
+        if timed_out and self._timeout_counter is not None:
+            self._timeout_counter.inc()
 
     def _abort_batch(self, connection: _Connection, batch: RequestBatch,
-                     error: str) -> None:
+                     error: str) -> bool:
         """Fail every op of an in-flight batch exactly once."""
         if connection.outstanding.pop(batch.batch_id, None) is None:
-            return  # already answered or already aborted
+            return False  # already answered or already aborted
         connection.credits.try_put(object())
         for op in batch.ops:
             self._finish(op, OpResult(
                 ok=False, error=error,
                 latency=self.env.now - op.enqueued_at))
+        return True
 
     def _completion_loop(self, thread: _ClientThread):
         cpu, nic = self.profile.cpu, self.profile.nic
@@ -383,8 +412,14 @@ class CacheDataPath:
         if result.ok:
             self.ops_completed += 1
             self._completed_weight += op.weight
+            if self._completed_counter is not None:
+                self._completed_counter.inc(op.weight)
         else:
             self.ops_failed += 1
+            if self._failed_counter is not None:
+                self._failed_counter.inc(op.weight)
+        if self._op_latency is not None:
+            self._op_latency.observe(result.latency)
         if op.completion is not None and not op.completion.triggered:
             op.completion.succeed(result)
 

@@ -18,6 +18,8 @@ It is used three ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from repro.core.config import PerfPoint, RdmaConfig
@@ -26,6 +28,7 @@ from repro.core.protocol import EngineOp
 from repro.core.server import CacheServer
 from repro.hardware.profiles import AZURE_HPC, TestbedProfile
 from repro.net.fabric import Fabric, Placement
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Environment
 from repro.sim.rng import RngRegistry
 
@@ -76,7 +79,9 @@ def measure_config(config: RdmaConfig, record_size: int, *,
                    batches_per_connection: int = 120,
                    warmup_batches: int = 30,
                    extra_outstanding: int = 0,
-                   seed: int = 0) -> MeasurementResult:
+                   seed: int = 0,
+                   metrics: Optional[MetricsRegistry] = None
+                   ) -> MeasurementResult:
     """Measure one RDMA configuration on the simulated testbed.
 
     The load is closed-loop: every connection keeps ``q`` (plus
@@ -88,6 +93,10 @@ def measure_config(config: RdmaConfig, record_size: int, *,
     """
     rngs = RngRegistry(seed=seed)
     env = Environment()
+    if metrics is not None:
+        # Install before the testbed is built so the queue pairs, fabric,
+        # and data path instrument themselves (see repro.obs).
+        metrics.install(env)
     fabric = Fabric(env, profile)
     client_place, server_place = placements_for_hops(switch_hops)
     client_endpoint = fabric.add_endpoint("measure-client", client_place)
@@ -171,6 +180,19 @@ def measure_config(config: RdmaConfig, record_size: int, *,
     if samples.size == 0:
         raise RuntimeError("measurement produced no samples; "
                            "increase batches_per_connection")
+    if metrics is not None:
+        # Bench-blob contract: the measured window's per-request latency
+        # distribution plus a throughput counter/gauge pair, independent
+        # of the engine's own (warmup-inclusive) hot-path metrics.
+        latency_hist = metrics.histogram("bench.op_latency")
+        for sample in latencies:
+            latency_hist.observe(sample)
+        metrics.counter("bench.ops").inc(measured_weight)
+        metrics.gauge("bench.throughput_ops").set(measured_weight / duration)
+        metrics.gauge("bench.measured_duration").set(duration)
+        for key, value in env.event_loop_stats().items():
+            metrics.gauge(f"kernel.{key}").set(value)
+        metrics.gauge("kernel.sim_now").set(env.now)
     return MeasurementResult(
         latency_mean=float(samples.mean()),
         latency_p50=float(np.percentile(samples, 50)),

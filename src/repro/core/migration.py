@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, List, Sequence
 from repro.core.server import CacheServer
 from repro.net.qp import QueuePair
 from repro.net.verbs import RdmaOp, WorkRequest
+from repro.obs.metrics import registry_of
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -78,6 +79,26 @@ def migrate_regions(cache: "RedyCache", old_server: CacheServer,
     env = cache.env
     table = cache.table
     started_at = env.now
+    metrics = registry_of(env)
+    pause_window = bytes_counter = None
+    if metrics is not None:
+        #: Per-region write-pause windows -- the §7.4 robustness number
+        #: the optimizations exist to shrink.
+        pause_window = metrics.histogram("migration.pause_window")
+        bytes_counter = metrics.counter("migration.bytes_moved")
+        metrics.counter("migration.runs").inc()
+    pause_started: dict[int, float] = {}
+
+    def _pause(index: int) -> None:
+        pause_started[index] = env.now
+        table.pause_writes(index)
+        if not policy.unpaused_reads:
+            table.pause_reads(index)
+
+    def _resume(index: int) -> None:
+        table.resume(index)
+        if pause_window is not None and index in pause_started:
+            pause_window.observe(env.now - pause_started.pop(index))
 
     # "The cache client needs to tell the new VM to establish a
     # bandwidth-optimized connection with the existing cache" (§6.2).
@@ -90,16 +111,12 @@ def migrate_regions(cache: "RedyCache", old_server: CacheServer,
         # Unoptimized baseline: everything affected pauses for the whole
         # migration.
         for index in region_indices:
-            table.pause_writes(index)
-            if not policy.unpaused_reads:
-                table.pause_reads(index)
+            _pause(index)
 
     bytes_moved = 0
     for index in region_indices:
         if policy.pause_per_region:
-            table.pause_writes(index)
-            if not policy.unpaused_reads:
-                table.pause_reads(index)
+            _pause(index)
 
         old_token = table.region(index).token
         new_region = new_server.allocate_regions(
@@ -123,6 +140,8 @@ def migrate_regions(cache: "RedyCache", old_server: CacheServer,
             raise RuntimeError(
                 f"migration of region {index} failed: source VM gone")
         bytes_moved += cache.region_bytes
+        if bytes_counter is not None:
+            bytes_counter.inc(cache.region_bytes)
 
         # Flip the region table, then resume paused writers: "After a
         # region has been migrated, the cache client updates its region
@@ -132,11 +151,11 @@ def migrate_regions(cache: "RedyCache", old_server: CacheServer,
                              new_server.endpoint.name)
         table.remap(index, new_region.token, new_server.endpoint.name)
         if policy.pause_per_region:
-            table.resume(index)
+            _resume(index)
 
     if not policy.pause_per_region:
         for index in region_indices:
-            table.resume(index)
+            _resume(index)
 
     return MigrationReport(
         regions_moved=list(region_indices), bytes_moved=bytes_moved,

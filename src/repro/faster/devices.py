@@ -32,9 +32,18 @@ from typing import List, Optional
 import numpy as np
 
 from repro.hardware.ssd import SsdSpec
+from repro.obs.metrics import registry_of
 from repro.sim.clock import US
 from repro.sim.kernel import Environment, Event
 from repro.sim.resources import Resource
+
+
+def _service_histogram(env: Environment, device_name: str):
+    """Per-device service-time histogram, or None when uninstrumented."""
+    metrics = registry_of(env)
+    if metrics is None:
+        return None
+    return metrics.histogram(f"device.{device_name}.service_time")
 
 __all__ = [
     "DeviceReadResult",
@@ -92,6 +101,7 @@ class _BufferedDevice(IDevice):
         self.capacity = capacity
         self._buf = bytearray(capacity)
         self._watermark = 0  # exclusive end of spilled data
+        self._service_time = _service_histogram(env, self.name)
 
     @property
     def watermark(self) -> int:
@@ -140,6 +150,8 @@ class LocalMemoryDevice(_BufferedDevice):
 
     def _complete(self, event: Event, data: Optional[bytes]):
         yield self.env.timeout(self._latency)
+        if self._service_time is not None:
+            self._service_time.observe(self._latency)
         event.succeed(DeviceReadResult(ok=True, data=data))
 
 
@@ -171,6 +183,7 @@ class SsdDevice(_BufferedDevice):
 
     def _service(self, event: Event, addr: int, size: int,
                  data: Optional[bytes]):
+        started = self.env.now
         yield self._slots.acquire()
         try:
             latency = self.spec.sample_latency(size, data is not None,
@@ -178,6 +191,10 @@ class SsdDevice(_BufferedDevice):
             yield self.env.timeout(latency)
         finally:
             self._slots.release()
+        if self._service_time is not None:
+            # Queueing for an internal slot counts: that is the latency
+            # the log's read path actually sees.
+            self._service_time.observe(self.env.now - started)
         if data is not None:
             self._store(addr, data)
             event.succeed(DeviceReadResult(ok=True))
@@ -232,11 +249,14 @@ class SmbDirectDevice(_BufferedDevice):
 
     def _service(self, event: Event, addr: int, size: int,
                  data: Optional[bytes]):
+        started = self.env.now
         yield self._slots.acquire()
         try:
             yield self.env.timeout(self._service_latency(size))
         finally:
             self._slots.release()
+        if self._service_time is not None:
+            self._service_time.observe(self.env.now - started)
         if data is not None:
             self._store(addr, data)
             event.succeed(DeviceReadResult(ok=True))
@@ -263,6 +283,7 @@ class RedyDevice(IDevice):
         self.env = cache.env
         self.cache = cache
         self._watermark = 0
+        self._service_time = _service_histogram(self.env, self.name)
 
     @property
     def capacity(self) -> int:
@@ -290,6 +311,7 @@ class RedyDevice(IDevice):
         return event
 
     def _read(self, event: Event, addr: int, size: int):
+        started = self.env.now
         pieces = list(self._ring_pieces(addr, size))
         results = yield self.env.all_of([
             self.cache.read(cache_addr, length)
@@ -310,6 +332,8 @@ class RedyDevice(IDevice):
         for (_cache_addr, buffer_offset, length), result in zip(pieces,
                                                                 results):
             buffer[buffer_offset:buffer_offset + length] = result.data
+        if self._service_time is not None:
+            self._service_time.observe(self.env.now - started)
         event.succeed(DeviceReadResult(ok=True, data=bytes(buffer)))
 
     def write(self, addr: int, data: bytes) -> Event:

@@ -22,6 +22,7 @@ from repro.hardware.profiles import (
     TestbedProfile,
 )
 from repro.net.memory import MemoryRegion
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Environment, Event
 from repro.sim.resources import Resource
 
@@ -56,6 +57,9 @@ class Endpoint:
         #: Serializes outbound bytes at line rate.  Shared by every QP on
         #: this endpoint, so bulk transfers and foreground traffic contend.
         self.tx_link = Resource(fabric.env, slots=1)
+        #: Seconds this endpoint's tx link spent serializing (drives the
+        #: fabric's link-utilization metric).
+        self.tx_busy_seconds = 0.0
         self.regions: Dict[int, MemoryRegion] = {}
         self.alive = True
 
@@ -98,6 +102,23 @@ class Fabric:
         #: Shared rack-uplink serializers, created lazily per rack when
         #: the profile declares finite uplink bandwidth.
         self._uplinks: Dict[tuple[int, int], Resource] = {}
+        metrics = registry_of(env)
+        if metrics is not None:
+            self._bytes_moved = metrics.counter("fabric.bytes")
+            self._messages = metrics.counter("fabric.messages")
+            #: Aggregate serialization seconds across all tx links; the
+            #: exporter divides by (endpoints x sim time) for utilization.
+            self._tx_busy = metrics.counter("fabric.tx_busy_seconds")
+        else:
+            self._bytes_moved = None
+            self._messages = None
+            self._tx_busy = None
+
+    def link_utilization(self, endpoint_name: str) -> float:
+        """Fraction of simulated time ``endpoint_name``'s tx link spent
+        serializing, from per-endpoint busy-seconds accounting."""
+        endpoint = self._endpoints[endpoint_name]
+        return endpoint.tx_busy_seconds / self.env.now if self.env.now else 0.0
 
     def _rack_uplink(self, placement: Placement) -> Optional[Resource]:
         if self.profile.fabric.rack_uplink_gbps is None:
@@ -135,7 +156,13 @@ class Fabric:
         nic = self.profile.nic
         yield src.tx_link.acquire()
         try:
-            yield self.env.timeout(nic.wire_time(wire_payload_bytes))
+            wire_time = nic.wire_time(wire_payload_bytes)
+            yield self.env.timeout(wire_time)
+            src.tx_busy_seconds += wire_time
+            if self._tx_busy is not None:
+                self._tx_busy.inc(wire_time)
+                self._bytes_moved.inc(wire_payload_bytes)
+                self._messages.inc()
         finally:
             src.tx_link.release()
         hops = self.switch_hops(src, dst)

@@ -16,6 +16,7 @@ from typing import Deque, Optional
 from repro.net.fabric import Endpoint
 from repro.net.memory import RdmaAccessError
 from repro.net.verbs import Completion, RdmaOp, WorkRequest
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Environment, Event
 
 __all__ = ["QueuePair", "QueuePairError"]
@@ -47,6 +48,17 @@ class QueuePair:
         self._backlog: Deque[tuple[WorkRequest, Event]] = deque()
         #: Completions pending in-order delivery, keyed by arrival.
         self._connected = True
+        metrics = registry_of(env)
+        if metrics is not None:
+            self._wire_latency = metrics.histogram("qp.wire_latency")
+            self._ops_posted = metrics.counter("qp.ops_posted")
+            self._error_completions = metrics.counter("qp.error_completions")
+            self._backlog_depth = metrics.gauge("qp.backlog_depth")
+        else:
+            self._wire_latency = None
+            self._ops_posted = None
+            self._error_completions = None
+            self._backlog_depth = None
 
     @property
     def in_flight(self) -> int:
@@ -57,11 +69,21 @@ class QueuePair:
         return len(self._backlog)
 
     def disconnect(self) -> None:
-        """Tear the QP down; queued-but-unsent requests fail immediately."""
+        """Tear the QP down; queued-but-unsent requests fail immediately.
+
+        Operations already launched keep running (their wire traffic is
+        committed) and deliver their completions normally; only the
+        unsent backlog is failed here.
+        """
         self._connected = False
         while self._backlog:
             wr, event = self._backlog.popleft()
-            event.succeed(self._error_completion(wr, "queue pair disconnected"))
+            completion = self._error_completion(wr, "queue pair disconnected")
+            if self._error_completions is not None:
+                self._error_completions.inc()
+            event.succeed(completion)
+        if self._backlog_depth is not None:
+            self._backlog_depth.set(0)
 
     def post(self, wr: WorkRequest) -> Event:
         """Post a work request; returns an event that fires with its
@@ -73,11 +95,16 @@ class QueuePair:
         """
         if not self._connected:
             raise QueuePairError("post() on a disconnected queue pair")
+        wr.posted_at = self.env.now
+        if self._ops_posted is not None:
+            self._ops_posted.inc()
         completion_event = self.env.event()
         if self._in_flight < self.max_depth:
             self._launch(wr, completion_event)
         else:
             self._backlog.append((wr, completion_event))
+            if self._backlog_depth is not None:
+                self._backlog_depth.set(len(self._backlog))
         return completion_event
 
     def _launch(self, wr: WorkRequest, completion_event: Event) -> None:
@@ -86,12 +113,19 @@ class QueuePair:
             self._execute(wr, completion_event),
             name=f"qp:{self.local.name}->{self.remote.name}:{wr.wr_id}")
 
-    def _finish(self, completion_event: Event, completion: Completion) -> None:
+    def _finish(self, wr: WorkRequest, completion_event: Event,
+                completion: Completion) -> None:
         self._in_flight -= 1
         if self._backlog and self._connected:
             next_wr, next_event = self._backlog.popleft()
+            if self._backlog_depth is not None:
+                self._backlog_depth.set(len(self._backlog))
             self._launch(next_wr, next_event)
         completion.completed_at = self.env.now
+        if self._wire_latency is not None:
+            self._wire_latency.observe(self.env.now - wr.posted_at)
+            if not completion.ok:
+                self._error_completions.inc()
         completion_event.succeed(completion)
 
     def _execute(self, wr: WorkRequest, completion_event: Event):
@@ -101,7 +135,7 @@ class QueuePair:
 
         if not self.local.alive:
             # A dead requester posts nothing: its NIC is gone.
-            self._finish(completion_event,
+            self._finish(wr, completion_event,
                          self._error_completion(wr, "local endpoint down"))
             return
 
@@ -121,14 +155,14 @@ class QueuePair:
         yield from fabric.transmit(self.local, self.remote, request_bytes)
 
         if not self.remote.alive:
-            self._finish(completion_event,
+            self._finish(wr, completion_event,
                          self._error_completion(wr, "remote endpoint down"))
             return
 
         region = self.remote.find_region(wr.token.region_id)
         if region is None:
             self._finish(
-                completion_event,
+                wr, completion_event,
                 self._error_completion(
                     wr, f"no region {wr.token.region_id} at {self.remote.name}"))
             return
@@ -147,7 +181,8 @@ class QueuePair:
                 data = region.read(wr.token, wr.remote_offset, wr.payload_bytes)
                 response_bytes = wr.payload_bytes
         except RdmaAccessError as exc:
-            self._finish(completion_event, self._error_completion(wr, str(exc)))
+            self._finish(wr, completion_event,
+                         self._error_completion(wr, str(exc)))
             return
 
         yield from fabric.transmit(self.remote, self.local, response_bytes)
@@ -157,7 +192,7 @@ class QueuePair:
             yield self.env.timeout(nic.rx_dma)
 
         self._finish(
-            completion_event,
+            wr, completion_event,
             Completion(wr_id=wr.wr_id, op=wr.op, ok=True, data=data,
                        context=wr.context))
 

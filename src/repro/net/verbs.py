@@ -48,6 +48,9 @@ class WorkRequest:
     #: WRITE lands (how request/response batches reach the poller on the
     #: other side).  Ignored for READs and for regions without a mailbox.
     payload_object: object = None
+    #: Simulated timestamp when the request was posted to a queue pair
+    #: (stamped by :meth:`QueuePair.post`; drives wire-latency metrics).
+    posted_at: float = 0.0
     wr_id: int = field(default_factory=lambda: next(_WR_IDS))
 
     def __post_init__(self) -> None:

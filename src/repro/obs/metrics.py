@@ -1,0 +1,245 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The registry is designed for the simulator's hot paths: metric objects
+are looked up once (at component construction) and then updated with
+plain attribute arithmetic -- no string formatting, no locking, no
+per-sample allocation.  Histograms use fixed bucket bounds so that
+recording is O(log buckets) and memory is O(buckets) regardless of how
+many billions of observations a long soak run makes; percentiles are
+reconstructed from the bucket counts with linear interpolation, the
+same trade Prometheus histograms make.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+def _geometric_buckets(lo: float, hi: float, per_decade: int) -> tuple:
+    """Bucket upper bounds from ``lo`` to ``hi``, ``per_decade`` per 10x."""
+    n = int(round(math.log10(hi / lo) * per_decade))
+    return tuple(lo * 10.0 ** (i / per_decade) for i in range(n + 1))
+
+
+#: 100 ns .. 10 s, eight buckets per decade: fine enough to resolve the
+#: paper's 5 us vs 7.1 us optimization steps, coarse enough to stay tiny.
+DEFAULT_LATENCY_BUCKETS = _geometric_buckets(1e-7, 10.0, per_decade=8)
+
+
+class Counter:
+    """A monotonically increasing count (ops issued, bytes moved)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """An instantaneous level (backlog depth, in-flight ops).
+
+    Tracks the running maximum alongside the current value so a snapshot
+    taken at the end of a run still shows the high-water mark.
+    """
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with percentile reconstruction.
+
+    ``bounds`` are bucket *upper* edges; observations above the last
+    bound land in a +Inf overflow bucket.  Exact count/sum/min/max are
+    kept alongside, so means are exact and only percentiles are
+    bucket-quantized.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = bisect.bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Linear interpolation inside the bucket holding the target rank;
+        clamped to the exact observed min/max so single-bucket
+        distributions still report sane numbers.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        lower = 0.0
+        for upper, bucket_count in zip(self.bounds, self.counts):
+            if bucket_count:
+                seen += bucket_count
+                if seen >= rank:
+                    fraction = 1.0 - (seen - rank) / bucket_count
+                    estimate = lower + fraction * (upper - lower)
+                    return min(max(estimate, self.min), self.max)
+            lower = upper
+        return self.max  # rank fell in the overflow bucket
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def to_dict(self) -> dict:
+        # Sparse encoding: only non-empty buckets, keyed by upper bound.
+        sparse = {f"{upper:.3e}": count
+                  for upper, count in zip(self.bounds, self.counts) if count}
+        if self.overflow:
+            sparse["+inf"] = self.overflow
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.p50,
+            "p99": self.p99,
+            "buckets": sparse,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one simulation run.
+
+    Names are dotted paths (``engine.op_latency``,
+    ``device.ssd.service_time``); the snapshot keeps them flat, which is
+    what the benchmark JSON blobs and the CLI table both want.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get_or_create(self, name: str, kind, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(name, Histogram, bounds)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {name: metric.to_dict()
+                for name, metric in sorted(self._metrics.items())}
+
+    # ------------------------------------------------------------------
+    # Environment integration
+    # ------------------------------------------------------------------
+
+    def install(self, env) -> "MetricsRegistry":
+        """Attach this registry to ``env`` so components built afterwards
+        instrument themselves.  Deliberately does *not* touch
+        ``env.on_process_failure``: installing metrics must never change
+        failure semantics (the kernel already counts failures in its
+        event-loop stats)."""
+        env.metrics = self
+        return self
+
+
+def registry_of(env) -> Optional[MetricsRegistry]:
+    """The registry installed on ``env``, or None.
+
+    Components call this once at construction; the ``getattr`` default
+    keeps old hand-built Environments (tests, notebooks) working.
+    """
+    return getattr(env, "metrics", None)

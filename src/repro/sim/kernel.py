@@ -58,7 +58,8 @@ class Event:
     resumes the waiter immediately on the next kernel step.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "on_abandon")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -67,6 +68,11 @@ class Event:
         self._ok: Optional[bool] = None
         self._triggered = False
         self._processed = False
+        #: Called (once) when the sole waiting process abandons this wait
+        #: -- e.g. it was interrupted.  Resource containers use it to pull
+        #: the orphaned waiter out of their queues so items and slots are
+        #: not handed to a process that will never consume them.
+        self.on_abandon: Optional[Callable[["Event"], None]] = None
 
     @property
     def triggered(self) -> bool:
@@ -124,6 +130,12 @@ class Event:
         else:
             self.callbacks.append(callback)
 
+    def _notify_abandoned(self) -> None:
+        """Tell the event's producer that its waiter walked away."""
+        hook, self.on_abandon = self.on_abandon, None
+        if hook is not None:
+            hook(self)
+
     def __repr__(self) -> str:
         state = "processed" if self._processed else (
             "triggered" if self._triggered else "pending")
@@ -176,19 +188,42 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process.
 
         Interrupting a finished process is a no-op, mirroring the
-        at-most-once semantics of VM reclamation notices.
+        at-most-once semantics of VM reclamation notices.  The check is
+        repeated when the scheduled throw actually fires: the process may
+        finish (or a second interrupt may land) between the call and the
+        throw, and throwing into a finished generator would corrupt the
+        kernel ("already triggered").
         """
         if self._triggered:
             return
-        target = self._waiting_on
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._waiting_on = None
+        self._detach_from_wait()
         self.env._call_soon(
-            lambda: self._step(throw=Interrupt(cause)), priority=PRIORITY_URGENT)
+            lambda: self._fire_interrupt(cause), priority=PRIORITY_URGENT)
+
+    def _detach_from_wait(self) -> None:
+        """Stop listening to whatever the process is waiting on."""
+        target, self._waiting_on = self._waiting_on, None
+        if target is None or target.callbacks is None:
+            return
+        try:
+            target.callbacks.remove(self._resume)
+        except ValueError:
+            return
+        # Only the party that actually removed the resume callback owns
+        # the abandonment: the wait is now orphaned and the resource that
+        # produced the event must reclaim the item/slot.
+        target._notify_abandoned()
+
+    def _fire_interrupt(self, cause: Any) -> None:
+        if self._triggered:
+            # Finished (or was torn down by an earlier interrupt) between
+            # scheduling and firing: at-most-once delivery, drop it.
+            return
+        # A prior interrupt may have resumed the process onto a *new*
+        # wait; detach from that one too before throwing.
+        self._detach_from_wait()
+        self.env._interrupts_thrown += 1
+        self._step(throw=Interrupt(cause))
 
     def _bootstrap(self) -> None:
         if not self._triggered:
@@ -196,6 +231,11 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         if self._triggered:
+            return
+        if self._waiting_on is not event:
+            # Stale delivery: waiting on an already-processed event is
+            # delivered via _call_soon, which an interrupt cannot unhook
+            # from the heap.  The interrupt moved the process on; drop it.
             return
         self._waiting_on = None
         if event.ok:
@@ -213,10 +253,22 @@ class Process(Event):
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate to joiners
-            if self.callbacks:
-                self.fail(exc)
-            else:
-                raise
+            # Always route the failure through fail() so the process event
+            # triggers and `is_alive` flips -- raising from inside
+            # Environment.step() would leave a permanently-alive zombie
+            # whose joiners hang forever.  With no joiner registered yet
+            # the failure is handed to the environment's
+            # `on_process_failure` hook; without a hook it still
+            # re-raises (after the state flip) so errors stay loud.
+            had_joiners = bool(self.callbacks)
+            self.fail(exc)
+            self.env._process_failures += 1
+            if not had_joiners:
+                hook = self.env.on_process_failure
+                if hook is not None:
+                    hook(self, exc)
+                else:
+                    raise
             return
         if not isinstance(target, Event):
             raise SimulationError(
@@ -283,11 +335,38 @@ class Environment:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Any]] = []
         self._sequence = 0
+        #: Called as ``hook(process, exc)`` when a process raises with no
+        #: joiner registered to receive the failure.  When set, the hook
+        #: owns the exception (the kernel stays running); when None, the
+        #: exception re-raises out of :meth:`step` -- but only after the
+        #: process event has been failed, so the kernel stays consistent.
+        self.on_process_failure: Optional[
+            Callable[["Process", BaseException], None]] = None
+        #: Metrics registry attach point (see :mod:`repro.obs`); ``None``
+        #: means instrumented components skip all bookkeeping.
+        self.metrics: Any = None
+        # Event-loop statistics (cheap ints, always on).
+        self._steps = 0
+        self._events_processed = 0
+        self._immediate_calls = 0
+        self._process_failures = 0
+        self._interrupts_thrown = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    def event_loop_stats(self) -> dict:
+        """Counters describing the kernel's own work so far."""
+        return {
+            "steps": self._steps,
+            "events": self._events_processed,
+            "immediate_calls": self._immediate_calls,
+            "process_failures": self._process_failures,
+            "interrupts_thrown": self._interrupts_thrown,
+            "pending": len(self._heap),
+        }
 
     # -- factories ---------------------------------------------------------
 
@@ -325,11 +404,16 @@ class Environment:
 
     def step(self) -> None:
         """Process the next entry on the event list."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event list")
         when, _priority, _seq, entry = heapq.heappop(self._heap)
         self._now = when
+        self._steps += 1
         if isinstance(entry, Event):
+            self._events_processed += 1
             entry._run_callbacks()
         else:
+            self._immediate_calls += 1
             entry()
 
     def run(self, until: Optional[float] = None) -> None:

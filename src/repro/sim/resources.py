@@ -56,6 +56,7 @@ class Store:
             self._items.append(item)
             event.succeed()
         else:
+            event.on_abandon = self._cancel_put
             self._putters.append((event, item))
         return event
 
@@ -70,14 +71,47 @@ class Store:
         return True
 
     def get(self) -> Event:
-        """Return an event that fires with the next item."""
+        """Return an event that fires with the next item.
+
+        A consumer that abandons the wait (it was interrupted) is pulled
+        back out of the queue -- and if an item was already handed to it
+        in the same instant, the item is returned to the store -- so no
+        item is ever lost to an orphaned waiter.
+        """
         event = self.env.event()
         if self._items:
             event.succeed(self._items.popleft())
             self._admit_putter()
         else:
+            event.on_abandon = self._cancel_get
             self._getters.append(event)
         return event
+
+    def _cancel_get(self, event: Event) -> None:
+        try:
+            self._getters.remove(event)
+            return
+        except ValueError:
+            pass
+        if event.triggered and event.ok:
+            # A put() handed its item over in the same instant the
+            # consumer was interrupted; reclaim it for the next consumer.
+            self._restock(event.value)
+
+    def _cancel_put(self, event: Event) -> None:
+        for index, (pending, _item) in enumerate(self._putters):
+            if pending is event:
+                del self._putters[index]
+                return
+
+    def _restock(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            # Front of the queue: the item was logically next in FIFO
+            # order.  May transiently exceed a bounded capacity; that is
+            # the correct accounting -- the item was already admitted.
+            self._items.appendleft(item)
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking get; returns (ok, item)."""
@@ -123,13 +157,33 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
+        """Return an event that fires once a slot is held.
+
+        A waiter that abandons the wait (it was interrupted) is removed
+        from the queue -- and if a slot was already handed to it in the
+        same instant, the slot is released again -- so ``in_use`` credits
+        can never leak to processes that will never run.
+        """
         event = self.env.event()
         if self._in_use < self.slots:
             self._in_use += 1
             event.succeed()
         else:
             self._waiters.append(event)
+        event.on_abandon = self._cancel_acquire
         return event
+
+    def _cancel_acquire(self, event: Event) -> None:
+        try:
+            self._waiters.remove(event)
+            return
+        except ValueError:
+            pass
+        if event.triggered and event.ok:
+            # The slot was granted (at acquire time or via a release
+            # handoff) but its owner was interrupted before resuming;
+            # pass it on so the credit is not permanently leaked.
+            self.release()
 
     def release(self) -> None:
         if self._in_use <= 0:

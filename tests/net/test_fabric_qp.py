@@ -198,6 +198,39 @@ class TestFailureHandling:
         with pytest.raises(QueuePairError):
             qp.post(WorkRequest(RdmaOp.READ, region.token, 0, 8))
 
+    def test_disconnect_with_operations_in_flight(self):
+        """Mid-run teardown: every posted op completes exactly once.
+
+        Launched operations finish normally (their wire traffic is
+        committed); the unsent backlog fails immediately; nothing hangs,
+        double-fires, or leaks in-flight accounting.
+        """
+        env, _, _, _, region, qp = make_pair(depth=2)
+        events = [qp.post(WorkRequest(RdmaOp.READ, region.token, 0, 8))
+                  for _ in range(6)]
+        assert qp.in_flight == 2 and qp.backlog_length == 4
+
+        def reclaimer(env):
+            # Well inside the first ops' flight time (~3.5us each).
+            yield env.timeout(1 * US)
+            qp.disconnect()
+
+        env.process(reclaimer(env))
+        env.run()
+
+        completions = [event.value for event in events]
+        assert all(event.processed for event in events)
+        # The two launched ops finished; the four backlogged ones failed.
+        assert [c.ok for c in completions] == [True, True] + [False] * 4
+        assert all("disconnected" in c.error for c in completions[2:])
+        assert qp.in_flight == 0
+        assert qp.backlog_length == 0
+        # Completion timestamps are sane: failures at disconnect time,
+        # successes when their wire round trip ended.
+        assert all(c.completed_at == pytest.approx(1 * US)
+                   for c in completions[2:])
+        assert all(c.completed_at > 1 * US for c in completions[:2])
+
 
 class TestBandwidthSharing:
     def test_tx_link_serializes_concurrent_bulk_sends(self):

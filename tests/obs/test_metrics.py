@@ -1,0 +1,127 @@
+"""Unit tests for the repro.obs metrics primitives."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.sim import Environment, US
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("ops")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("ops").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_current_and_max(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        gauge.add(1)
+        assert gauge.value == 3
+        assert gauge.max_value == 7
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        hist = Histogram("lat")
+        for value in (1 * US, 2 * US, 3 * US):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2 * US)
+        assert hist.min == pytest.approx(1 * US)
+        assert hist.max == pytest.approx(3 * US)
+
+    def test_percentiles_land_in_the_right_decade(self):
+        hist = Histogram("lat")
+        # 95 fast ops at ~5us, five slow ops at ~2ms.
+        for _ in range(95):
+            hist.observe(5 * US)
+        for _ in range(5):
+            hist.observe(2e-3)
+        assert 2 * US < hist.p50 < 10 * US
+        assert hist.p99 > 1e-4  # the tail samples dominate p99
+
+    def test_percentile_clamped_to_observed_range(self):
+        hist = Histogram("lat")
+        hist.observe(5 * US)
+        assert hist.p50 == pytest.approx(5 * US)
+        assert hist.p99 == pytest.approx(5 * US)
+
+    def test_overflow_bucket(self):
+        hist = Histogram("lat", bounds=(1.0,))
+        hist.observe(100.0)
+        assert hist.overflow == 1
+        assert hist.percentile(99) == pytest.approx(100.0)
+
+    def test_empty_histogram_is_sane(self):
+        hist = Histogram("lat")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.p99 == 0.0
+        blob = hist.to_dict()
+        assert blob["min"] is None and blob["max"] is None
+
+    def test_default_buckets_cover_rdma_to_migration_scales(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-6   # sub-microsecond
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 1.0   # multi-second
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(2.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.ops").inc()
+        registry.gauge("a.depth").set(2)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.depth", "b.ops"]
+        assert snapshot["b.ops"] == {"type": "counter", "value": 1}
+
+    def test_install_attaches_to_environment(self):
+        env = Environment()
+        registry = MetricsRegistry().install(env)
+        assert env.metrics is registry
+        # Installing metrics must not change failure semantics.
+        assert env.on_process_failure is None
+
+
+def test_histogram_percentile_monotone_over_spread_samples():
+    hist = Histogram("lat")
+    for i in range(1, 1001):
+        hist.observe(i * US)
+    percentiles = [hist.percentile(q) for q in (10, 50, 90, 99)]
+    assert percentiles == sorted(percentiles)
+    assert hist.percentile(50) == pytest.approx(500 * US, rel=0.2)
+    assert hist.percentile(99) == pytest.approx(990 * US, rel=0.2)
+    assert math.isfinite(hist.percentile(0))

@@ -25,6 +25,28 @@ def test_unknown_experiment_is_an_error(capsys):
     assert "unknown experiment" in capsys.readouterr().out
 
 
+def test_metrics_live_run_dumps_registry(capsys):
+    assert main(["metrics", "--batches", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "bench.op_latency" in out
+    assert "qp.wire_latency" in out
+    assert "p99" in out
+
+
+def test_metrics_json_output_is_parseable(capsys):
+    import json
+
+    assert main(["metrics", "--json", "--batches", "30"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["schema"] == "repro.obs/v1"
+    assert blob["metrics"]["bench.ops"]["value"] > 0
+
+
+def test_metrics_for_missing_bench_blob_is_an_error(capsys):
+    assert main(["metrics", "fig99"]) == 1
+    assert "no metrics blob" in capsys.readouterr().out
+
+
 def test_missing_command_exits_with_usage():
     with pytest.raises(SystemExit):
         main([])
