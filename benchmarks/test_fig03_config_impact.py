@@ -7,7 +7,7 @@ throughput-optimal one reaches 205 MOPS at 538 us; balanced sits at
 """
 
 from repro.core import RdmaConfig
-from repro.core.measurement import measure_config
+from repro.exec import SweepRunner, tasks_for
 
 #: Representative configurations for the three regimes (the paper does
 #: not publish its exact tuples; these are this testbed's equivalents).
@@ -24,16 +24,20 @@ PAPER = {
 }
 
 
-def run_experiment():
-    rows = {}
-    for label, config in CONFIGS.items():
-        result = measure_config(config, 8, read_fraction=0.0, seed=3)
-        rows[label] = (result.latency_mean * 1e6, result.throughput / 1e6)
-    return rows
+def run_experiment(runner=None):
+    if runner is None:
+        runner = SweepRunner()
+    tasks = tasks_for(CONFIGS.values(), record_size=8, base_seed=3,
+                      seed_stride=0, read_fraction=0.0)
+    results = runner.run(tasks)
+    return {label: (result.latency_mean * 1e6, result.throughput / 1e6)
+            for label, result in zip(CONFIGS, results)}
 
 
-def test_fig03_config_impact(benchmark, report):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_fig03_config_impact(benchmark, report, sweep_runner):
+    rows = benchmark.pedantic(run_experiment,
+                              kwargs={"runner": sweep_runner()},
+                              rounds=1, iterations=1)
     lines = [f"{'configuration':>20} {'latency':>10} {'tput':>9} "
              f"  paper: latency / tput"]
     for label, (latency, tput) in rows.items():

@@ -13,7 +13,7 @@ Paper medians: 19 us (lock-free) -> 12 us (one-sided) -> 7.1 us (QD 4)
 
 from repro.core import RdmaConfig
 from repro.core.latency import DataPathModel
-from repro.core.measurement import measure_config
+from repro.exec import SweepRunner, tasks_for
 from repro.hardware import AZURE_HPC
 
 STAGES = [
@@ -31,23 +31,34 @@ PAPER_MEDIAN_US = {"lock-free rings": 19.0, "one-sided ops": 12.0,
                    "fully-loaded QPs": 7.1, "NUMA affinity": 5.0}
 
 
-def run_experiment(metrics=None):
+def stage_tasks():
+    """The ladder as one sweep batch (shared with Figure 8, so the two
+    figures' identical measurements share cache entries)."""
+    return tasks_for([config for _label, config in STAGES], record_size=8,
+                     base_seed=5, seed_stride=0, read_fraction=0.0,
+                     extra_outstanding=2, batches_per_connection=400,
+                     warmup_batches=100)
+
+
+def run_experiment(metrics=None, runner=None):
     model = DataPathModel(AZURE_HPC, switch_hops=1)
+    if runner is None:
+        runner = SweepRunner(metrics=metrics)
+    results = runner.run(stage_tasks())
     rows = []
-    for label, config in STAGES:
-        result = measure_config(config, 8, read_fraction=0.0, seed=5,
-                                extra_outstanding=2,
-                                batches_per_connection=400,
-                                warmup_batches=100, metrics=metrics)
+    for (label, config), result in zip(STAGES, results):
         network = model.network_round_trip(config, 8, is_read=False)
         rows.append((label, result.latency_p50 * 1e6,
                      result.latency_p99 * 1e6, network * 1e6))
     return rows
 
 
-def test_fig07_optimization_latency(benchmark, report, bench_metrics):
-    rows = benchmark.pedantic(run_experiment, args=(bench_metrics,),
-                              rounds=1, iterations=1)
+def test_fig07_optimization_latency(benchmark, report, bench_metrics,
+                                    sweep_runner):
+    rows = benchmark.pedantic(
+        run_experiment,
+        kwargs={"runner": sweep_runner(metrics=bench_metrics)},
+        rounds=1, iterations=1)
     lines = [f"{'stage':>18} {'median':>9} {'p99':>9} {'network':>9} "
              f"{'paper-median':>13}"]
     for label, p50, p99, network in rows:

@@ -6,31 +6,33 @@ affinitization +52% (reaching 1.1 MOPS on one connection).
 """
 
 from repro.core import RdmaConfig
-from repro.core.measurement import measure_config
+from repro.exec import SweepRunner
 
-from benchmarks.test_fig07_opt_latency import STAGES
+from benchmarks.test_fig07_opt_latency import STAGES, stage_tasks
 
 PAPER_GAIN = {"lock-free rings": 0.687, "one-sided ops": 0.453,
               "fully-loaded QPs": 2.4, "NUMA affinity": 0.52}
 
 
-def run_experiment(metrics=None):
+def run_experiment(metrics=None, runner=None):
+    if runner is None:
+        runner = SweepRunner(metrics=metrics)
+    results = runner.run(stage_tasks())
     rows = []
     previous = None
-    for label, config in STAGES:
-        result = measure_config(config, 8, read_fraction=0.0, seed=5,
-                                extra_outstanding=2,
-                                batches_per_connection=400,
-                                warmup_batches=100, metrics=metrics)
+    for (label, _config), result in zip(STAGES, results):
         gain = (result.throughput / previous - 1.0) if previous else None
         previous = result.throughput
         rows.append((label, result.throughput / 1e6, gain))
     return rows
 
 
-def test_fig08_optimization_throughput(benchmark, report, bench_metrics):
-    rows = benchmark.pedantic(run_experiment, args=(bench_metrics,),
-                              rounds=1, iterations=1)
+def test_fig08_optimization_throughput(benchmark, report, bench_metrics,
+                                       sweep_runner):
+    rows = benchmark.pedantic(
+        run_experiment,
+        kwargs={"runner": sweep_runner(metrics=bench_metrics)},
+        rounds=1, iterations=1)
     lines = [f"{'stage':>18} {'tput':>9} {'gain':>8} {'paper-gain':>11}"]
     for label, mops, gain in rows:
         gain_text = f"{gain * 100:>+6.1f}%" if gain is not None else "      -"

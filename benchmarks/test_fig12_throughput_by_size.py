@@ -12,7 +12,7 @@ Paper observations reproduced here:
 """
 
 from repro.core import RdmaConfig, max_batch_size
-from repro.core.measurement import measure_config
+from repro.exec import SweepRunner, SweepTask
 from repro.hardware import AZURE_HPC
 
 SIZES = (4, 16, 64, 256, 1024, 4096, 16384)
@@ -31,24 +31,31 @@ def raw_network_mops(size: int) -> float:
     return min(by_message_rate, by_line_rate) / 1e6
 
 
-def run_experiment(metrics=None):
+def run_experiment(metrics=None, runner=None):
+    if runner is None:
+        runner = SweepRunner(metrics=metrics)
+    tasks = [
+        SweepTask(config=throughput_config(size), record_size=size,
+                  read_fraction=read_fraction, seed=6,
+                  batches_per_connection=60, warmup_batches=15)
+        for size in SIZES for read_fraction in (0.0, 1.0)
+    ]
+    results = runner.run(tasks)
     rows = []
-    for size in SIZES:
-        config = throughput_config(size)
-        write = measure_config(config, size, read_fraction=0.0, seed=6,
-                               batches_per_connection=60, warmup_batches=15,
-                               metrics=metrics)
-        read = measure_config(config, size, read_fraction=1.0, seed=6,
-                              batches_per_connection=60, warmup_batches=15,
-                              metrics=metrics)
-        rows.append((size, config.batch_size, write.throughput / 1e6,
-                     read.throughput / 1e6, raw_network_mops(size)))
+    for index, size in enumerate(SIZES):
+        write, read = results[2 * index], results[2 * index + 1]
+        rows.append((size, throughput_config(size).batch_size,
+                     write.throughput / 1e6, read.throughput / 1e6,
+                     raw_network_mops(size)))
     return rows
 
 
-def test_fig12_throughput_by_record_size(benchmark, report, bench_metrics):
-    rows = benchmark.pedantic(run_experiment, args=(bench_metrics,),
-                              rounds=1, iterations=1)
+def test_fig12_throughput_by_record_size(benchmark, report, bench_metrics,
+                                         sweep_runner):
+    rows = benchmark.pedantic(
+        run_experiment,
+        kwargs={"runner": sweep_runner(metrics=bench_metrics)},
+        rounds=1, iterations=1)
     lines = [f"{'size':>7} {'batch':>6} {'write':>9} {'read':>9} "
              f"{'raw-net':>9}   (paper: ~200M at 16B, 10x raw)"]
     for size, batch, write, read, raw in rows:

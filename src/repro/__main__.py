@@ -8,6 +8,10 @@ Convenience launcher for a repository checkout:
 * ``python -m repro metrics`` -- run an instrumented measurement and dump
   its ``repro.obs`` registry (``--json`` for the raw blob);
 * ``python -m repro metrics fig07`` -- show a saved ``BENCH_fig07.json``;
+* ``python -m repro sweep`` -- measure a configuration grid through the
+  parallel sweep executor and its on-disk result cache (``repro.exec``);
+* ``python -m repro kernelbench`` -- micro-benchmark the simulation
+  kernel (``Environment.step()`` throughput on the measurement workload);
 * ``python -m repro examples`` -- list the example applications.
 """
 
@@ -117,6 +121,103 @@ def cmd_metrics(identifier: str | None, as_json: bool,
     return 0
 
 
+def cmd_sweep(record_size: int, max_client_threads: int,
+              max_queue_depth: int, workers: int | None, batches: int,
+              warmup: int, seed: int, cache_dir: str | None,
+              as_json: bool) -> int:
+    """Measure a configuration grid through the sweep executor.
+
+    Walks the powers-of-two grid of the requested configuration space,
+    fans the measurements across the worker pool, and prints one row per
+    grid point plus the executor's own counters.  Re-running the same
+    sweep is near-instant: results come back from the content-addressed
+    cache (``--cache-dir ''`` disables it).
+    """
+    from repro.core.space import ConfigSpace
+    from repro.exec import ResultCache, SweepRunner, tasks_for
+    from repro.obs.metrics import MetricsRegistry
+
+    space = ConfigSpace(max_client_threads=max_client_threads,
+                        record_size=record_size,
+                        max_queue_depth=max_queue_depth,
+                        min_queue_depth=min(4, max_queue_depth))
+    configs = list(space.iter_grid())
+    cache = None
+    if cache_dir != "":
+        root = (pathlib.Path(cache_dir) if cache_dir
+                else _BENCHMARKS / "_results" / ".cache")
+        cache = ResultCache(root)
+    registry = MetricsRegistry()
+    runner = SweepRunner(max_workers=workers, cache=cache, metrics=registry)
+    tasks = tasks_for(configs, record_size=record_size, base_seed=seed,
+                      seed_stride=0, batches_per_connection=batches,
+                      warmup_batches=warmup)
+    results = runner.run(tasks)
+
+    rows = [{
+        "config": {"s": c.server_threads, "c": c.client_threads,
+                   "b": c.batch_size, "q": c.queue_depth},
+        "latency_mean": r.latency_mean,
+        "latency_p99": r.latency_p99,
+        "throughput": r.throughput,
+    } for c, r in zip(configs, results)]
+    summary = {
+        "mode": runner.last_mode,
+        "tasks": len(tasks),
+        "cache_hits": registry.counter("exec.cache_hits").value,
+        "wall_seconds": registry.gauge("exec.wall_seconds").value,
+    }
+    if as_json:
+        print(json.dumps({"schema": "repro.exec/v1", "grid": rows,
+                          "exec": summary}, indent=2, sort_keys=True))
+        return 0
+    print(f"{'s':>4} {'c':>4} {'b':>5} {'q':>4} {'mean-lat':>11} "
+          f"{'p99-lat':>11} {'tput':>10}")
+    for row in rows:
+        cfg = row["config"]
+        print(f"{cfg['s']:>4} {cfg['c']:>4} {cfg['b']:>5} {cfg['q']:>4} "
+              f"{row['latency_mean'] * 1e6:>9.1f}us "
+              f"{row['latency_p99'] * 1e6:>9.1f}us "
+              f"{row['throughput'] / 1e6:>8.2f}M")
+    print(f"{summary['tasks']} tasks, "
+          f"{summary['cache_hits']:.0f} cache hits, "
+          f"{summary['mode']} mode, "
+          f"{summary['wall_seconds']:.2f}s wall")
+    return 0
+
+
+def cmd_kernelbench(rounds: int, batches: int) -> int:
+    """Micro-benchmark ``Environment.step()`` on the measurement workload.
+
+    Runs the same instrumented ``measure_config`` call the sweep hot
+    path is made of and prints kernel steps per wall-clock second -- the
+    number CI logs so step-loop regressions are visible.
+    """
+    from time import perf_counter
+
+    from repro.core.config import RdmaConfig
+    from repro.core.measurement import measure_config
+    from repro.obs.metrics import MetricsRegistry
+
+    config = RdmaConfig(4, 4, 16, 8)
+    best = 0.0
+    for index in range(rounds):
+        registry = MetricsRegistry()
+        started = perf_counter()
+        measure_config(config, 16, read_fraction=0.5,
+                       batches_per_connection=batches,
+                       warmup_batches=max(1, batches // 4),
+                       seed=11, metrics=registry)
+        elapsed = perf_counter() - started
+        steps = registry.gauge("kernel.steps").value
+        rate = steps / elapsed
+        best = max(best, rate)
+        print(f"round {index}: {steps:,.0f} steps in {elapsed:.3f}s "
+              f"= {rate:,.0f} steps/sec")
+    print(f"best: {best:,.0f} steps/sec")
+    return 0
+
+
 def cmd_examples() -> int:
     if not _EXAMPLES.is_dir():
         print("no examples/ directory found")
@@ -147,6 +248,28 @@ def main(argv: list[str] | None = None) -> int:
     metrics.add_argument("--threads", type=int, default=1)
     metrics.add_argument("--batches", type=int, default=120,
                          help="measured batches per connection")
+    sweep = sub.add_parser(
+        "sweep",
+        help="measure a configuration grid via the parallel sweep executor")
+    sweep.add_argument("--record-size", type=int, default=64)
+    sweep.add_argument("--max-client-threads", type=int, default=4)
+    sweep.add_argument("--max-queue-depth", type=int, default=8)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="pool size (default: cpu count; 1 = serial)")
+    sweep.add_argument("--batches", type=int, default=30,
+                       help="measured batches per connection")
+    sweep.add_argument("--warmup", type=int, default=10)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: "
+                            "benchmarks/_results/.cache; '' disables)")
+    sweep.add_argument("--json", action="store_true", dest="as_json")
+    kernelbench = sub.add_parser(
+        "kernelbench",
+        help="micro-benchmark kernel steps/sec on the measurement workload")
+    kernelbench.add_argument("--rounds", type=int, default=3)
+    kernelbench.add_argument("--batches", type=int, default=120,
+                             help="measured batches per connection")
     sub.add_parser("examples", help="list example applications")
     args = parser.parse_args(argv)
 
@@ -158,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "metrics":
             return cmd_metrics(args.experiment, args.as_json,
                                args.queue_depth, args.threads, args.batches)
+        if args.command == "sweep":
+            return cmd_sweep(args.record_size, args.max_client_threads,
+                             args.max_queue_depth, args.workers,
+                             args.batches, args.warmup, args.seed,
+                             args.cache_dir, args.as_json)
+        if args.command == "kernelbench":
+            return cmd_kernelbench(args.rounds, args.batches)
         return cmd_examples()
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

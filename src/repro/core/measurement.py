@@ -184,9 +184,7 @@ def measure_config(config: RdmaConfig, record_size: int, *,
         # Bench-blob contract: the measured window's per-request latency
         # distribution plus a throughput counter/gauge pair, independent
         # of the engine's own (warmup-inclusive) hot-path metrics.
-        latency_hist = metrics.histogram("bench.op_latency")
-        for sample in latencies:
-            latency_hist.observe(sample)
+        metrics.histogram("bench.op_latency").observe_many(latencies)
         metrics.counter("bench.ops").inc(measured_weight)
         metrics.gauge("bench.throughput_ops").set(measured_weight / duration)
         metrics.gauge("bench.measured_duration").set(duration)

@@ -1,0 +1,120 @@
+"""Content-addressed on-disk cache for measurement results.
+
+A sweep over a configuration grid is a pure function of its inputs: each
+:func:`repro.core.measurement.measure_config` call is fully determined
+by the ``RdmaConfig``, the hardware profile, the measurement parameters,
+and the seed.  The cache exploits that purity -- the key is a SHA-256
+over the canonical JSON encoding of exactly those inputs (plus a code
+version salt, bumped whenever the simulator's numerics change), and the
+value is a JSON blob holding the frozen ``MeasurementResult`` plus the
+run's full metrics snapshot, so a cache hit replays both the numbers
+*and* the observability surface bit-for-bit.
+
+Blobs live under ``benchmarks/_results/.cache/`` by default, one file
+per key, named ``<first 16 hex chars>.json``.  JSON round-trips Python
+floats exactly (``repr`` shortest-form), which is what makes cached
+results bit-identical to live ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["CODE_VERSION", "ResultCache", "cache_key"]
+
+#: Bump whenever a change alters measurement numerics (kernel event
+#: ordering, RNG stream layout, timing model): old cache entries then
+#: miss instead of serving stale results.
+CODE_VERSION = "repro-exec/v1"
+
+#: Blob schema tag, checked on read so a future layout change cannot be
+#: misinterpreted as a hit.
+_BLOB_SCHEMA = "repro.exec/v1"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to canonical JSON-encodable form for hashing.
+
+    Dataclasses (``RdmaConfig``, ``TestbedProfile`` and its nested
+    device specs) become sorted-key dicts; floats rely on JSON's exact
+    shortest-repr round-trip.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for "
+                    f"cache keying: {value!r}")
+
+
+def cache_key(**inputs: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``inputs``.
+
+    The code version salt is always mixed in; callers pass the
+    measurement inputs (config, profile, params, seed).
+    """
+    payload = _canonical(dict(inputs, code_version=CODE_VERSION))
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One directory of ``<key>.json`` measurement blobs.
+
+    Reads and writes are atomic-enough for the sweep use case: a blob is
+    written to a temp file and renamed into place, so concurrent workers
+    racing on the same key both leave a complete file behind.
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key[:16]}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The blob stored for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                blob = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if blob.get("schema") != _BLOB_SCHEMA or blob.get("key") != key:
+            # Schema drift or a (16-hex-char) filename collision with a
+            # different full key: treat as a miss, never as wrong data.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return blob
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Store ``payload`` under ``key``; returns the blob path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        blob = dict(payload, schema=_BLOB_SCHEMA, key=key)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(blob, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for entry in self.root.iterdir()
+                   if entry.suffix == ".json")

@@ -16,6 +16,8 @@ import bisect
 import math
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
@@ -118,6 +120,65 @@ class Histogram:
         else:
             self.counts[index] += 1
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations in one vectorized pass.
+
+        Bucket placement uses ``searchsorted(side='left')``, which agrees
+        with :meth:`observe`'s ``bisect_left`` exactly, and the batch sum
+        is accumulated left to right, so on a fresh histogram the result
+        is bit-identical to a per-sample :meth:`observe` loop -- the
+        contract the bench-blob replay path relies on.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        # builtins.sum over the list is a sequential (left-to-right) C
+        # loop; numpy's pairwise summation would differ in the last ulp.
+        self.sum += sum(arr.tolist())
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        indices = np.searchsorted(self.bounds, arr, side="left")
+        per_bucket = np.bincount(indices, minlength=len(self.bounds) + 1)
+        self.overflow += int(per_bucket[len(self.bounds)])
+        counts = self.counts
+        for index in np.flatnonzero(per_bucket[:len(self.bounds)]):
+            counts[index] += int(per_bucket[index])
+
+    def merge_dict(self, blob: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot from another histogram in.
+
+        Used by the sweep executor to replay a worker's (or a cached
+        run's) metrics into the parent registry.  The snapshot's sparse
+        bucket keys are matched against this histogram's bounds; a key
+        that does not correspond to any bound means the histograms were
+        built with different bucket layouts, which is a caller bug.
+        """
+        if not blob.get("count"):
+            return
+        self.count += blob["count"]
+        self.sum += blob["sum"]
+        if blob["min"] < self.min:
+            self.min = blob["min"]
+        if blob["max"] > self.max:
+            self.max = blob["max"]
+        key_to_index = {f"{upper:.3e}": i
+                        for i, upper in enumerate(self.bounds)}
+        for key, bucket_count in blob["buckets"].items():
+            if key == "+inf":
+                self.overflow += bucket_count
+            else:
+                try:
+                    self.counts[key_to_index[key]] += bucket_count
+                except KeyError:
+                    raise ValueError(
+                        f"histogram {self.name!r}: snapshot bucket {key} "
+                        f"does not match this histogram's bounds") from None
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -160,7 +221,7 @@ class Histogram:
                   for upper, count in zip(self.bounds, self.counts) if count}
         if self.overflow:
             sparse["+inf"] = self.overflow
-        return {
+        out = {
             "type": "histogram",
             "count": self.count,
             "sum": self.sum,
@@ -171,6 +232,13 @@ class Histogram:
             "p99": self.p99,
             "buckets": sparse,
         }
+        if self.bounds != DEFAULT_LATENCY_BUCKETS:
+            # Non-default layouts carry their bounds so merge_snapshot
+            # can rebuild the histogram in a fresh registry; default
+            # layouts stay compact (and byte-compatible with pre-existing
+            # benchmark blobs).
+            out["bounds"] = list(self.bounds)
+        return out
 
 
 class MetricsRegistry:
@@ -221,6 +289,32 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, dict]:
         return {name: metric.to_dict()
                 for name, metric in sorted(self._metrics.items())}
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram buckets add; gauges take the snapshot's
+        value (and the max of the high-water marks), matching what a
+        sequential run that ``set()`` them in the same order would show.
+        Merging per-task snapshots in task order is how the sweep
+        executor makes serial, parallel, and cache-hit runs produce the
+        same registry contents.
+        """
+        for name, blob in snapshot.items():
+            kind = blob["type"]
+            if kind == "counter":
+                self.counter(name).inc(blob["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(blob["value"])
+                if blob["max"] > gauge.max_value:
+                    gauge.max_value = blob["max"]
+            elif kind == "histogram":
+                bounds = blob.get("bounds", DEFAULT_LATENCY_BUCKETS)
+                self.histogram(name, bounds).merge_dict(blob)
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown snapshot type {kind!r}")
 
     # ------------------------------------------------------------------
     # Environment integration

@@ -135,3 +135,24 @@ class TestEngineMeasurer:
         assert engine.latency == pytest.approx(analytic.latency, rel=0.45)
         assert engine.throughput == pytest.approx(analytic.throughput,
                                                   rel=0.45)
+
+
+def test_testbed_measurer_matches_engine_measurer_bit_for_bit():
+    """The batch-mode (sweep-executor) measurer and the serial engine
+    measurer walk the same grid to identical PerfPoints, with the
+    prefetch hook measuring every grid point exactly once."""
+    from repro.core.modeling import make_engine_measurer, make_testbed_measurer
+
+    space = ConfigSpace(max_client_threads=2, record_size=1024,
+                        max_queue_depth=4)
+    serial = OfflineModeler(space, make_engine_measurer(
+        record_size=1024, seed=7, batches_per_connection=6,
+        warmup_batches=2))
+    batched = OfflineModeler(space, make_testbed_measurer(
+        record_size=1024, seed=7, batches_per_connection=6,
+        warmup_batches=2))
+    serial_model, serial_stats = serial.build()
+    batched_model, batched_stats = batched.build()
+    assert serial_stats == batched_stats
+    for config in space.iter_grid():
+        assert serial_model.known(config) == batched_model.known(config)

@@ -125,3 +125,82 @@ def test_histogram_percentile_monotone_over_spread_samples():
     assert hist.percentile(50) == pytest.approx(500 * US, rel=0.2)
     assert hist.percentile(99) == pytest.approx(990 * US, rel=0.2)
     assert math.isfinite(hist.percentile(0))
+
+
+class TestObserveMany:
+    def test_matches_per_sample_observe_exactly(self):
+        import numpy as np
+        values = list(np.random.default_rng(3).lognormal(-11, 1.5, 2000))
+        values += [5e-8, 20.0]  # underflow bucket + overflow bucket
+        looped, batched = Histogram("a"), Histogram("b")
+        for value in values:
+            looped.observe(value)
+        batched.observe_many(values)
+        assert looped.to_dict() == batched.to_dict()
+        assert batched.sum == looped.sum  # bit-identical, not approx
+
+    def test_empty_batch_is_a_no_op(self):
+        hist = Histogram("lat")
+        hist.observe_many([])
+        assert hist.count == 0
+
+    def test_accepts_numpy_arrays(self):
+        import numpy as np
+        hist = Histogram("lat")
+        hist.observe_many(np.asarray([1 * US, 2 * US]))
+        assert hist.count == 2
+
+
+class TestMergeSnapshot:
+    def test_round_trip_reproduces_registry(self):
+        source = MetricsRegistry()
+        source.counter("ops").inc(7)
+        source.gauge("depth").set(5.0)
+        source.gauge("depth").set(2.0)
+        source.histogram("lat").observe_many([1 * US, 3 * US, 20.0])
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_accumulates_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ops").inc(2)
+        a.histogram("lat").observe(1 * US)
+        b.counter("ops").inc(3)
+        b.histogram("lat").observe(1 * US)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        assert merged.counter("ops").value == 5
+        assert merged.histogram("lat").count == 2
+
+    def test_gauge_takes_last_value_and_max_of_maxes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(9.0)
+        a.gauge("depth").set(1.0)
+        b.gauge("depth").set(4.0)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        assert merged.gauge("depth").value == 4.0
+        assert merged.gauge("depth").max_value == 9.0
+
+    def test_custom_bounds_travel_with_the_snapshot(self):
+        source = MetricsRegistry()
+        source.histogram("weights", bounds=(1.0, 8.0, 64.0)).observe(8.0)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.histogram("weights").bounds == (1.0, 8.0, 64.0)
+        assert target.snapshot() == source.snapshot()
+
+    def test_mismatched_bounds_rejected(self):
+        source = MetricsRegistry()
+        source.histogram("lat", bounds=(1.0, 2.0)).observe(1.5)
+        target = MetricsRegistry()
+        target.histogram("lat")  # default bounds already registered
+        with pytest.raises(ValueError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_unknown_metric_type_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot({"x": {"type": "mystery"}})

@@ -50,3 +50,39 @@ def test_metrics_for_missing_bench_blob_is_an_error(capsys):
 def test_missing_command_exits_with_usage():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_sweep_json_output_and_cache_hits(tmp_path, capsys):
+    import json
+
+    argv = ["sweep", "--max-client-threads", "1", "--max-queue-depth", "2",
+            "--batches", "6", "--warmup", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["schema"] == "repro.exec/v1"
+    assert first["exec"]["tasks"] == len(first["grid"]) > 0
+    assert first["exec"]["cache_hits"] == 0
+    assert all(row["throughput"] > 0 for row in first["grid"])
+
+    assert main(argv) == 0
+    second = json.loads(capsys.readouterr().out)
+    # Cache hits replay the exact same numbers.
+    assert second["grid"] == first["grid"]
+    assert second["exec"]["cache_hits"] == second["exec"]["tasks"]
+
+
+def test_sweep_table_output_without_cache(capsys):
+    assert main(["sweep", "--max-client-threads", "1",
+                 "--max-queue-depth", "2", "--batches", "6",
+                 "--warmup", "2", "--cache-dir", ""]) == 0
+    out = capsys.readouterr().out
+    assert "tput" in out
+    assert "0 cache hits" in out
+
+
+def test_kernelbench_prints_steps_per_second(capsys):
+    assert main(["kernelbench", "--rounds", "1", "--batches", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "steps/sec" in out
+    assert "best:" in out
