@@ -79,8 +79,11 @@ def bench_metrics(request):
     yield registry
     if len(registry) == 0:
         return
+    # Full stem, not the first "_" token: test_abl_fault_availability
+    # must land in BENCH_abl_fault_availability.json, not clobber every
+    # other ablation's blob at BENCH_abl.json.
     identifier = pathlib.Path(str(request.node.fspath)).stem
-    identifier = identifier.removeprefix("test_").split("_")[0]
+    identifier = identifier.removeprefix("test_")
     write_json(RESULTS_DIR / f"BENCH_{identifier}.json", registry,
                name=identifier, extra={"test": request.node.name})
 

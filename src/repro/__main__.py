@@ -12,6 +12,9 @@ Convenience launcher for a repository checkout:
   parallel sweep executor and its on-disk result cache (``repro.exec``);
 * ``python -m repro kernelbench`` -- micro-benchmark the simulation
   kernel (``Environment.step()`` throughput on the measurement workload);
+* ``python -m repro chaos spot-churn`` -- run one named fault-injection
+  scenario and dump its fault log + availability summary
+  (``repro.faults``); same seed, bit-identical fault trace;
 * ``python -m repro examples`` -- list the example applications.
 """
 
@@ -93,6 +96,11 @@ def cmd_metrics(identifier: str | None, as_json: bool,
     from repro.obs.export import format_table, snapshot
 
     if identifier is not None:
+        # Short ids (fig07) resolve through the experiment table to the
+        # full blob name the bench_metrics fixture writes.
+        path = _experiment_ids().get(identifier)
+        if path is not None:
+            identifier = path.stem.removeprefix("test_")
         blob_path = _BENCHMARKS / "_results" / f"BENCH_{identifier}.json"
         if not blob_path.is_file():
             print(f"no metrics blob at {blob_path}; run the benchmark "
@@ -218,6 +226,60 @@ def cmd_kernelbench(rounds: int, batches: int) -> int:
     return 0
 
 
+def cmd_chaos(scenario: str | None, seed: int, as_json: bool,
+              out: str | None) -> int:
+    """Run one named fault-injection scenario (``repro.faults``).
+
+    Prints the fault log and the availability summary; ``--json`` emits
+    the whole report (events, summary, metrics snapshot, digest) as one
+    machine-readable blob, and ``--out`` writes that blob to a file.
+    Same seed, same scenario => bit-identical fault log (check the
+    digest).  Without a scenario name, lists what is available.
+    """
+    from repro.faults import SCENARIOS, run_scenario
+
+    if scenario is None or scenario == "list":
+        print(f"{'scenario':>14}  description")
+        for name in sorted(SCENARIOS):
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:>14}  {doc}")
+        return 0
+    if scenario not in SCENARIOS:
+        print(f"unknown chaos scenario {scenario!r}; "
+              f"try `python -m repro chaos list`")
+        return 1
+    report = run_scenario(scenario, seed=seed)
+    blob = {
+        "schema": "repro.faults/v1",
+        "scenario": report.scenario,
+        "seed": report.seed,
+        "sim_seconds": report.sim_now,
+        "digest": report.log.digest(),
+        "events": [event.to_dict() for event in report.log],
+        "summary": report.summary,
+        "metrics": report.metrics,
+    }
+    if out:
+        pathlib.Path(out).write_text(
+            json.dumps(blob, indent=2, sort_keys=True) + "\n")
+    if as_json:
+        print(json.dumps(blob, indent=2, sort_keys=True))
+        return 0
+    print(f"== chaos {report.scenario} (seed {report.seed}) ==")
+    print("fault log:")
+    for event in report.log:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(event.detail.items()))
+        print(f"  {event.time:>10.4f}s  {event.kind:<22} {event.target:<16} "
+              f"{detail}")
+    print("summary:")
+    for key in sorted(report.summary):
+        print(f"  {key:<24} {report.summary[key]:g}")
+    print(f"fault-log digest: {report.log.digest()}")
+    if out:
+        print(f"report written to {out}")
+    return 0
+
+
 def cmd_examples() -> int:
     if not _EXAMPLES.is_dir():
         print("no examples/ directory found")
@@ -270,6 +332,17 @@ def main(argv: list[str] | None = None) -> int:
     kernelbench.add_argument("--rounds", type=int, default=3)
     kernelbench.add_argument("--batches", type=int, default=120,
                              help="measured batches per connection")
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a named fault-injection scenario (repro.faults)")
+    chaos.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario name (omit or use 'list' to enumerate)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the full report as one JSON blob")
+    chaos.add_argument("--out", default=None,
+                       help="also write the JSON report to this file")
     sub.add_parser("examples", help="list example applications")
     args = parser.parse_args(argv)
 
@@ -288,6 +361,9 @@ def main(argv: list[str] | None = None) -> int:
                              args.cache_dir, args.as_json)
         if args.command == "kernelbench":
             return cmd_kernelbench(args.rounds, args.batches)
+        if args.command == "chaos":
+            return cmd_chaos(args.scenario, args.seed, args.as_json,
+                             args.out)
         return cmd_examples()
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

@@ -19,8 +19,6 @@ from repro.sim.kernel import Environment
 
 __all__ = ["AllocationError", "ReclaimNotice", "Vm", "VmAllocator"]
 
-_VM_IDS = itertools.count(1)
-
 #: Default reclamation warning, middle of the paper's 30-120 s range.
 DEFAULT_RECLAIM_NOTICE_S = 30.0
 
@@ -73,6 +71,11 @@ class VmAllocator:
         self.servers = list(servers)
         self.reclaim_notice_s = reclaim_notice_s
         self.vms: Dict[int, Vm] = {}
+        # Per-allocator, not module-global: VM ids seed endpoint names
+        # and RNG stream names downstream, so they must be a function of
+        # this run alone for same-seed runs to be bit-identical
+        # (the repro.faults determinism contract).
+        self._vm_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Placement
@@ -132,7 +135,7 @@ class VmAllocator:
                 + (f"; reclaiming {evicting} harvest VM(s)"
                    if evicting else ""))
         server = candidates[0]
-        vm = Vm(vm_id=next(_VM_IDS), vm_type=vm_type, server=server,
+        vm = Vm(vm_id=next(self._vm_ids), vm_type=vm_type, server=server,
                 spot=spot, created_at=self.env.now)
         server.place(vm.vm_id, vm_type.cores, vm_type.memory_gb)
         self.vms[vm.vm_id] = vm
@@ -158,7 +161,7 @@ class VmAllocator:
             raise AllocationError(
                 f"no stranded server offers {memory_gb} GB")
         server = candidates[0]
-        vm = Vm(vm_id=next(_VM_IDS), vm_type=vm_type, server=server,
+        vm = Vm(vm_id=next(self._vm_ids), vm_type=vm_type, server=server,
                 spot=True, created_at=self.env.now)
         server.place(vm.vm_id, 0, memory_gb)
         self.vms[vm.vm_id] = vm

@@ -28,10 +28,12 @@ from repro.core.regions import AddressError, RegionTable
 from repro.core.server import CacheServer
 from repro.hardware.profiles import TestbedProfile
 from repro.net.fabric import Fabric, Placement
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Environment, Event
 from repro.sim.rng import RngRegistry
 
-__all__ = ["CacheDeletedError", "CacheIoResult", "RedyCache", "RedyClient"]
+__all__ = ["CacheDeletedError", "CacheIoResult", "RedyCache", "RedyClient",
+           "RetryPolicy"]
 
 
 class CacheDeletedError(Exception):
@@ -47,6 +49,46 @@ class CacheIoResult:
     data: Optional[bytes] = None
     error: Optional[str] = None
     latency: float = 0.0
+    #: Extra attempts the retry layer made before this result (0 when the
+    #: first attempt answered).
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry for transient failures (§6.2 robustness).
+
+    The default (one attempt, no timeout) is exactly the historical
+    behaviour: errors surface to the caller on the first failure, which
+    is what :class:`~repro.core.replication.ReplicatedCache` needs to
+    fail over within one I/O.  Chaos scenarios and availability
+    benchmarks opt into retries to ride out injected faults (QP errors,
+    latency spikes) without giving up on the cache.
+    """
+
+    #: Total attempts (first try included).  1 = fail fast.
+    max_attempts: int = 1
+    #: Backoff before attempt ``k`` (k >= 2): ``base * 2**(k-2)``...
+    base_backoff_s: float = 100e-6
+    #: ...capped here, so a long fault does not grow the wait unboundedly.
+    max_backoff_s: float = 10e-3
+    #: Per-attempt deadline; ``None`` waits for the data path's own
+    #: timeout machinery.  An expired attempt counts as failed (its
+    #: in-flight I/O is abandoned, not cancelled -- RDMA semantics).
+    attempt_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("need 0 <= base_backoff_s <= max_backoff_s")
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive")
+
+    def backoff_s(self, failures: int) -> float:
+        """Wait after ``failures`` consecutive failed attempts (>= 1)."""
+        return min(self.base_backoff_s * (2.0 ** (failures - 1)),
+                   self.max_backoff_s)
 
 
 class RedyClient:
@@ -70,6 +112,8 @@ class RedyClient:
                region_bytes: int = 1 << 30,
                backed: bool = True,
                migration_policy: MigrationPolicy = MigrationPolicy(),
+               retry_policy: RetryPolicy = RetryPolicy(),
+               auto_recover: bool = False,
                exclude_servers: Optional[frozenset] = None,
                harvest: bool = False) -> "RedyCache":
         """Table 1 *Create*: provision a cache and optionally populate it
@@ -86,7 +130,9 @@ class RedyClient:
             harvest=harvest)
         cache = RedyCache(self, allocation, slo, region_bytes,
                           backed=backed, backing_file=file,
-                          migration_policy=migration_policy)
+                          migration_policy=migration_policy,
+                          retry_policy=retry_policy,
+                          auto_recover=auto_recover)
         if file is not None:
             cache.populate(file)
         return cache
@@ -98,7 +144,9 @@ class RedyCache:
     def __init__(self, client: RedyClient, allocation: CacheAllocation,
                  slo: Slo, region_bytes: int, *, backed: bool,
                  backing_file: Optional[bytes],
-                 migration_policy: MigrationPolicy):
+                 migration_policy: MigrationPolicy,
+                 retry_policy: RetryPolicy = RetryPolicy(),
+                 auto_recover: bool = False):
         self.env = client.env
         self.profile = client.profile
         self.client = client
@@ -109,6 +157,12 @@ class RedyCache:
         self.backed = backed
         self.backing_file = backing_file
         self.migration_policy = migration_policy
+        self.retry_policy = retry_policy
+        #: When True, a VM that dies while still owning regions triggers
+        #: :meth:`recover_from_failure` automatically -- the behaviour a
+        #: production client needs under injected churn.  Off by default:
+        #: existing experiments drive recovery explicitly.
+        self.auto_recover = auto_recover
         self.deleted = False
         self.path = CacheDataPath(
             self.env, self.profile, allocation.config, client.endpoint,
@@ -126,6 +180,24 @@ class RedyCache:
         #: whether triggered by a reclaim notice, the lifetime guard, or
         #: the cost optimizer.
         self._migrating: set[int] = set()
+        #: In-flight recoveries by server name; makes
+        #: :meth:`recover_from_failure` idempotent so the auto-recovery
+        #: hook and the failed-migration path cannot race a double
+        #: re-provision of the same regions.
+        self._recoveries: dict[str, Event] = {}
+        metrics = registry_of(self.env)
+        if metrics is not None:
+            self._retries_counter = metrics.counter("client.retries")
+            self._timeouts_counter = metrics.counter(
+                "client.attempt_timeouts")
+            self._recoveries_counter = metrics.counter("client.recoveries")
+        else:
+            self._retries_counter = None
+            self._timeouts_counter = None
+            self._recoveries_counter = None
+        if self.auto_recover:
+            for vm in allocation.vms:
+                vm.on_terminated.append(self._on_vm_terminated)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -185,9 +257,60 @@ class RedyCache:
         done = self.env.event()
         if callback is not None:
             done._add_callback(lambda event: callback(event.value))
-        self.env.process(self._io(is_read, addr, size, data, done),
-                         name=f"redy-io-{'r' if is_read else 'w'}@{addr}")
+        policy = self.retry_policy
+        if policy.max_attempts == 1 and policy.attempt_timeout_s is None:
+            # Fail-fast default: no wrapper process on the hot path.
+            self.env.process(self._io(is_read, addr, size, data, done),
+                             name=f"redy-io-{'r' if is_read else 'w'}@{addr}")
+        else:
+            self.env.process(
+                self._io_with_retry(is_read, addr, size, data, done),
+                name=f"redy-io-retry-{'r' if is_read else 'w'}@{addr}")
         return done
+
+    def _io_with_retry(self, is_read: bool, addr: int, size: int,
+                       data: Optional[bytes], done: Event):
+        """Drive :meth:`_io` attempts under the cache's retry policy.
+
+        Capped exponential backoff between attempts; an optional
+        per-attempt deadline turns a hung attempt into a failed one (the
+        abandoned attempt's I/O keeps draining in the background, which
+        is harmless -- results land on an event nobody waits on).
+        """
+        policy = self.retry_policy
+        start = self.env.now
+        result = CacheIoResult(ok=False, error="no attempts made")
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                if self._retries_counter is not None:
+                    self._retries_counter.inc()
+                yield self.env.timeout(policy.backoff_s(attempt))
+            if self.deleted:
+                result = CacheIoResult(ok=False, error="cache was deleted")
+                break
+            inner = self.env.event()
+            self.env.process(
+                self._io(is_read, addr, size, data, inner),
+                name=f"redy-io-{'r' if is_read else 'w'}@{addr}#{attempt}")
+            if policy.attempt_timeout_s is None:
+                result = yield inner
+            else:
+                index, value = yield self.env.any_of(
+                    [inner, self.env.timeout(policy.attempt_timeout_s)])
+                if index == 1:
+                    if self._timeouts_counter is not None:
+                        self._timeouts_counter.inc()
+                    result = CacheIoResult(
+                        ok=False,
+                        error=f"attempt timed out after "
+                              f"{policy.attempt_timeout_s}s")
+                else:
+                    result = value
+            if result.ok:
+                break
+        result.retries = attempt
+        result.latency = self.env.now - start
+        done.succeed(result)
 
     def _io(self, is_read: bool, addr: int, size: int,
             data: Optional[bytes], done: Event):
@@ -432,8 +555,10 @@ class RedyCache:
         if self.manager.provisioning_delay_s > 0:
             yield self.env.timeout(self.manager.provisioning_delay_s)
         try:
-            _new_vm, new_server = self.manager.allocate_replacement(
+            new_vm, new_server = self.manager.allocate_replacement(
                 self.allocation, len(affected), exclude_vm=vm)
+            if self.auto_recover:
+                new_vm.on_terminated.append(self._on_vm_terminated)
         except AllocationError:
             # Nowhere to migrate: the regions die with the VM and ops on
             # them will fail -- "the Redy client ... must be able to
@@ -454,6 +579,22 @@ class RedyCache:
         self.migrations.append(report)
         self.manager.release_vm(self.allocation, vm)
 
+    def _on_vm_terminated(self, vm) -> None:
+        """Auto-recovery hook: a VM died while (possibly) owning regions.
+
+        Fires from ``Vm.on_terminated`` when the cache was created with
+        ``auto_recover=True``.  A clean migration has already remapped
+        and released by this point (``regions_on`` is empty), so only an
+        actual loss starts recovery -- and ``recover_from_failure`` is
+        idempotent, so racing the failed-migration path is safe.
+        """
+        if self.deleted or vm not in self.allocation.vms:
+            return
+        index = self.allocation.vms.index(vm)
+        name = self.allocation.servers[index].endpoint.name
+        if self.table.regions_on(name):
+            self.recover_from_failure(name)
+
     def recover_from_failure(self, server_name: str) -> Event:
         """Re-provision regions lost to a hard VM failure.
 
@@ -461,16 +602,31 @@ class RedyCache:
         was given at Create time (§6.2: "the cache client can use a copy
         of the cache to populate the new cache"); otherwise the regions
         come back zeroed.  Affected regions are unavailable (ops pause)
-        until recovery completes.
+        until recovery completes.  Idempotent: while one recovery of
+        ``server_name`` is in flight, further calls return the same
+        event instead of double-provisioning.
         """
+        existing = self._recoveries.get(server_name)
+        if existing is not None:
+            return existing
         done = self.env.event()
+        self._recoveries[server_name] = done
+        done._add_callback(
+            lambda _ev: self._recoveries.pop(server_name, None))
+        if self._recoveries_counter is not None:
+            self._recoveries_counter.inc()
         self.env.process(self._recover(server_name, done),
                          name=f"redy-recover-{server_name}")
         return done
 
     def _recover(self, server_name: str, done: Event):
-        failed_server = self._server_by_name(server_name)
         affected = [m.index for m in self.table.regions_on(server_name)]
+        if not affected:
+            # Nothing mapped there any more (an earlier recovery or a
+            # migration finished first): success, nothing to do.
+            done.succeed(True)
+            return
+        failed_server = self._server_by_name(server_name)
         for index in affected:
             self.table.pause_writes(index)
             self.table.pause_reads(index)
@@ -481,8 +637,10 @@ class RedyCache:
         vm_index = self.allocation.servers.index(failed_server)
         failed_vm = self.allocation.vms[vm_index]
         try:
-            _vm, server = self.manager.allocate_replacement(
+            new_vm, server = self.manager.allocate_replacement(
                 self.allocation, len(affected), exclude_vm=failed_vm)
+            if self.auto_recover:
+                new_vm.on_terminated.append(self._on_vm_terminated)
         except AllocationError as exc:
             for index in affected:
                 self.table.resume(index)

@@ -42,8 +42,6 @@ from repro.sim.rng import RngRegistry
 
 __all__ = ["CacheAllocation", "CacheManager", "SloUnsatisfiableError"]
 
-_ALLOCATION_IDS = itertools.count(1)
-
 #: Network distances a cache may be provisioned at, nearest first.
 _DISTANCES = (1, 3, 5)
 
@@ -99,6 +97,10 @@ class CacheManager:
         #: (record_size, switch_hops) -> PerfModel, built lazily.
         self._models: Dict[tuple[int, int], PerfModel] = {}
         self.allocations: Dict[int, CacheAllocation] = {}
+        # Per-manager, not module-global: allocation ids name RNG streams
+        # (cache-path-<id>), so they must restart with each run for
+        # same-seed runs to be bit-identical (repro.faults contract).
+        self._allocation_ids = itertools.count(1)
         #: allocation_id -> callback(vm, deadline) for reclaim notices.
         self._reclaim_handlers: Dict[int, Callable] = {}
 
@@ -235,7 +237,7 @@ class CacheManager:
             vms, n_regions, region_bytes)
 
         allocation = CacheAllocation(
-            allocation_id=next(_ALLOCATION_IDS),
+            allocation_id=next(self._allocation_ids),
             config=config, switch_hops=hops, vms=vms, servers=servers,
             regions_per_server=regions_per_server,
             region_bytes=region_bytes, hourly_cost=cost, spot=spot)
@@ -281,7 +283,7 @@ class CacheManager:
             servers, regions_per_server = self._start_servers(
                 vms, n_regions, region_bytes)
             allocation = CacheAllocation(
-                allocation_id=next(_ALLOCATION_IDS),
+                allocation_id=next(self._allocation_ids),
                 config=config, switch_hops=hops, vms=vms, servers=servers,
                 regions_per_server=regions_per_server,
                 region_bytes=region_bytes,

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 from repro.core.client import CacheIoResult, RedyCache, RedyClient
 from repro.core.config import Slo
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Event
 
 __all__ = ["ReplicatedCache"]
@@ -40,6 +41,18 @@ class ReplicatedCache:
         self.replicas = list(replicas)
         #: Failovers that have happened (for tests/benchmarks).
         self.failovers = 0
+        metrics = registry_of(self.env)
+        if metrics is not None:
+            #: Failure-detected -> replica-answered windows, the §6.2
+            #: "~10 us" number the availability benchmark reads back.
+            self._failover_latency = metrics.histogram(
+                "replication.failover_latency")
+            self._failover_counter = metrics.counter("replication.failovers")
+            self._lost_writes = metrics.counter("replication.lost_writes")
+        else:
+            self._failover_latency = None
+            self._failover_counter = None
+            self._lost_writes = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -102,12 +115,19 @@ class ReplicatedCache:
 
     def _read(self, addr: int, size: int, done: Event):
         start = self.env.now
+        failure_detected_at = None
         for _attempt in range(len(self.replicas)):
             result = yield self.primary.read(addr, size)
             if result.ok:
+                if (failure_detected_at is not None
+                        and self._failover_latency is not None):
+                    self._failover_latency.observe(
+                        self.env.now - failure_detected_at)
                 result.latency = self.env.now - start
                 done.succeed(result)
                 return
+            if failure_detected_at is None:
+                failure_detected_at = self.env.now
             if len(self.replicas) == 1:
                 break
             self._fail_over()
@@ -136,12 +156,18 @@ class ReplicatedCache:
         survivors = [replica for replica, result
                      in zip(self.replicas, results) if result.ok]
         if survivors and len(survivors) < len(self.replicas):
-            self.failovers += len(self.replicas) - len(survivors)
+            dropped = len(self.replicas) - len(survivors)
+            self.failovers += dropped
+            if self._failover_counter is not None:
+                self._failover_counter.inc(dropped)
             self.replicas = survivors
         if survivors:
             done.succeed(CacheIoResult(ok=True,
                                        latency=self.env.now - start))
         else:
+            # No replica acknowledged: this write is lost for good.
+            if self._lost_writes is not None:
+                self._lost_writes.inc()
             failed = next(r for r in results if not r.ok)
             done.succeed(CacheIoResult(ok=False, error=failed.error,
                                        latency=self.env.now - start))
@@ -155,6 +181,8 @@ class ReplicatedCache:
         dead = self.replicas.pop(0)
         dead.deleted = True
         self.failovers += 1
+        if self._failover_counter is not None:
+            self._failover_counter.inc()
 
     # ------------------------------------------------------------------
     # Redundancy maintenance

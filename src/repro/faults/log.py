@@ -1,0 +1,83 @@
+"""The append-only fault event log.
+
+Every fault the injector applies (and every process failure it routes)
+is recorded here with its simulated timestamp.  The log is the
+subsystem's determinism contract: the same schedule under the same seed
+must yield a **bit-identical** log, which :meth:`FaultLog.digest` makes
+checkable in one comparison.  Serialization is canonical JSON lines
+(sorted keys, `repr`-exact floats), so the digest is stable across
+processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["FaultEvent", "FaultLog"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One applied fault (or routed failure) at one simulated instant."""
+
+    time: float
+    kind: str
+    target: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, "target": self.target,
+                "detail": dict(self.detail)}
+
+
+class FaultLog:
+    """Append-only record of everything the injector did.
+
+    Events only ever append (never mutate, never reorder), so a log is a
+    faithful trace of the fault plane's actions; tests and the chaos CLI
+    compare logs via :meth:`digest`.
+    """
+
+    def __init__(self):
+        self._events: List[FaultEvent] = []
+
+    def append(self, time: float, kind: str, target: str,
+               **detail: Any) -> FaultEvent:
+        event = FaultEvent(time=time, kind=kind, target=target,
+                           detail=detail)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> tuple:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def kinds(self) -> Dict[str, int]:
+        """Event counts by kind (for summaries and smoke assertions)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def to_jsonl(self) -> str:
+        """Canonical one-line-per-event JSON (sorted keys, exact floats)."""
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+            for event in self._events)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialization -- the determinism
+        fingerprint two same-seed runs must share."""
+        return hashlib.sha256(self.to_jsonl().encode()).hexdigest()
+
+    def __repr__(self) -> str:
+        return f"<FaultLog {len(self._events)} events>"

@@ -1,0 +1,308 @@
+"""Named chaos scenarios: whole-system runs under injected faults.
+
+Each scenario builds a fresh cluster from a seed, arms a
+:class:`~repro.faults.injector.FaultInjector` with a schedule, drives a
+probe workload through the cache while the faults land, and returns a
+:class:`ChaosReport` -- the fault log, a metrics snapshot, and a small
+summary.  Scenarios are pure functions of the seed: `python -m repro
+chaos <name>` and the determinism tests both go through
+:func:`run_scenario`.
+
+The four scenarios cover the §6 robustness matrix:
+
+* ``spot-churn``   -- Poisson evictions + hard kills against a backed
+  cache with retries and auto-recovery (migrate / re-populate path);
+* ``evict-primary`` -- hard-kill the primary of a 2-way
+  :class:`~repro.core.replication.ReplicatedCache` (failover path);
+* ``link-flap``    -- transient QP error storms the retry policy must
+  ride out;
+* ``slow-node``    -- a throttled server plus a fabric latency spike
+  (degradation, not failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core import Slo
+from repro.core.client import RetryPolicy
+from repro.core.replication import ReplicatedCache
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultLog
+from repro.faults.spec import (
+    FaultSchedule,
+    LatencySpike,
+    LinkDown,
+    SlowNode,
+    VmKill,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.scenarios import build_cluster
+
+__all__ = ["SCENARIOS", "ChaosReport", "churn_run", "run_scenario"]
+
+REGION = 1 << 20
+CAPACITY = 4 * REGION
+SLO = Slo(max_latency=1e-3, min_throughput=1e5, record_size=512)
+PROBE_BYTES = 64
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    scenario: str
+    seed: int
+    log: FaultLog
+    metrics: Dict[str, dict]
+    summary: Dict[str, float]
+    sim_now: float
+
+
+class _ProbeStats:
+    """Availability bookkeeping for a stream of probe reads.
+
+    An *unavailability window* opens at the first failed probe after a
+    success and closes at the next success -- the client-visible outage,
+    which is what §6.2's migrate-vs-replicate trade is about.
+    """
+
+    def __init__(self, slo_latency_s: float):
+        self.slo_latency_s = slo_latency_s
+        self.probes = 0
+        self.failures = 0
+        self.violations = 0
+        self.latencies: List[float] = []
+        self.windows: List[float] = []
+        self._down_since = None
+
+    def record(self, now: float, result) -> None:
+        self.probes += 1
+        if result.ok:
+            self.latencies.append(result.latency)
+            if result.latency > self.slo_latency_s:
+                self.violations += 1
+            if self._down_since is not None:
+                self.windows.append(now - self._down_since)
+                self._down_since = None
+        else:
+            self.failures += 1
+            self.violations += 1
+            if self._down_since is None:
+                self._down_since = now
+
+    def close(self, now: float) -> None:
+        if self._down_since is not None:
+            self.windows.append(now - self._down_since)
+            self._down_since = None
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self.latencies)
+        p99 = ordered[int(0.99 * (len(ordered) - 1))] if ordered else 0.0
+        return {
+            "probes": self.probes,
+            "failed_probes": self.failures,
+            "slo_violations": self.violations,
+            "slo_violation_rate": (self.violations / self.probes
+                                   if self.probes else 0.0),
+            "unavailability_windows": len(self.windows),
+            "unavailable_s": sum(self.windows),
+            "max_unavailable_s": max(self.windows, default=0.0),
+            "read_p99_s": p99,
+        }
+
+
+def _probe_loop(env, read_fn: Callable, stats: _ProbeStats, *,
+                interval_s: float, until: float):
+    while env.now < until:
+        result = yield read_fn()
+        stats.record(env.now, result)
+        yield env.timeout(interval_s)
+    stats.close(env.now)
+
+
+def _finish(name: str, seed: int, harness, injector: FaultInjector,
+            registry: MetricsRegistry, stats: _ProbeStats,
+            extra_summary: Dict[str, float] = None) -> ChaosReport:
+    summary = stats.summary()
+    if extra_summary:
+        summary.update(extra_summary)
+    summary["faults_injected"] = float(len(injector.log))
+    return ChaosReport(scenario=name, seed=seed, log=injector.log,
+                       metrics=registry.snapshot(), summary=summary,
+                       sim_now=harness.env.now)
+
+
+def _backing(capacity: int) -> bytes:
+    return bytes(range(256)) * (capacity // 256)
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+def churn_run(seed: int, *, rate_per_s: float = 1.0,
+              duration_s: float = 6.0, kill_fraction: float = 0.25,
+              notice_s: float = 0.5, provisioning_delay_s: float = 0.25,
+              probe_interval_s: float = 5e-3) -> ChaosReport:
+    """Poisson spot churn against one backed cache (§6.2 repopulate).
+
+    The parametric core of the ``spot-churn`` scenario: the availability
+    ablation sweeps ``rate_per_s`` through it to trace SLO-violation
+    rate and unavailability against fault intensity.
+    """
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed,
+                            provisioning_delay_s=provisioning_delay_s,
+                            metrics=registry)
+    env = harness.env
+    client = harness.redy_client("chaos-app")
+    cache = client.create(
+        CAPACITY, SLO, duration_s=3600.0,  # finite => spot VMs (§6.1)
+        region_bytes=REGION, file=_backing(CAPACITY),
+        retry_policy=RetryPolicy(max_attempts=4, attempt_timeout_s=50e-3),
+        auto_recover=True)
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    rng = harness.rngs.stream("faults")
+    draw = lambda: FaultSchedule.poisson_evictions(  # noqa: E731
+        rate_per_s=rate_per_s, duration_s=duration_s, rng=rng,
+        start_at=0.5, notice_s=notice_s, kill_fraction=kill_fraction)
+    schedule = draw()
+    while not len(schedule):
+        # A Poisson window can come up empty; redraw from the same
+        # stream -- still a pure function of the seed -- so a chaos run
+        # always injects something.
+        schedule = draw()
+    injector.arm(schedule, cache=cache)
+
+    stats = _ProbeStats(SLO.max_latency)
+    horizon = max(duration_s + 2.0, schedule.horizon + 2.0)
+    env.process(_probe_loop(env, lambda: cache.read(4096, PROBE_BYTES),
+                            stats, interval_s=probe_interval_s,
+                            until=horizon),
+                name="chaos-probe")
+    env.run(until=horizon + 1.0)
+    return _finish("spot-churn", seed, harness, injector, registry, stats,
+                   {"churn_rate_per_s": rate_per_s,
+                    "migrations": float(len(cache.migrations)),
+                    "migration_failures": float(cache.migration_failures)})
+
+
+def _spot_churn(seed: int) -> ChaosReport:
+    """Poisson spot churn against one backed cache (§6.2 repopulate)."""
+    return churn_run(seed)
+
+
+def _evict_primary(seed: int) -> ChaosReport:
+    """Kill the primary of a replicated cache; reads must fail over."""
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, provisioning_delay_s=2.0,
+                            metrics=registry)
+    env = harness.env
+    client = harness.redy_client("chaos-repl-app")
+    group = ReplicatedCache.create(client, CAPACITY, SLO, n_replicas=2,
+                                   region_bytes=REGION)
+
+    def seed_then_probe():
+        yield group.write(4096, b"\xa5" * PROBE_BYTES)
+
+    env.run_process(seed_then_probe())
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    kills = FaultSchedule([
+        VmKill(at=env.now + 1.0, vm_index=i)
+        for i in range(len(group.primary.allocation.vms))
+    ])
+    injector.arm(kills, cache=group.primary)
+
+    stats = _ProbeStats(SLO.max_latency)
+    horizon = env.now + 3.0
+    env.process(_probe_loop(env, lambda: group.read(4096, PROBE_BYTES),
+                            stats, interval_s=5e-3, until=horizon),
+                name="chaos-probe")
+    env.run(until=horizon + 1.0)
+    failover = registry.get("replication.failover_latency")
+    return _finish(
+        "evict-primary", seed, harness, injector, registry, stats,
+        {"failovers": float(group.failovers),
+         "failover_p50_s": failover.p50 if failover is not None else 0.0})
+
+
+def _link_flap(seed: int) -> ChaosReport:
+    """Three transient link faults the retry policy rides out."""
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    env = harness.env
+    client = harness.redy_client("chaos-link-app")
+    cache = client.create(
+        CAPACITY, SLO, region_bytes=REGION, file=_backing(CAPACITY),
+        retry_policy=RetryPolicy(max_attempts=6, base_backoff_s=200e-6,
+                                 max_backoff_s=2e-3))
+    target = cache.allocation.servers[0].endpoint.name
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    flaps = FaultSchedule([
+        LinkDown(at=t, endpoint=target, duration_s=2e-3)
+        for t in (1.0, 2.0, 3.0)
+    ])
+    injector.arm(flaps)
+
+    stats = _ProbeStats(SLO.max_latency)
+    env.process(_probe_loop(env, lambda: cache.read(4096, PROBE_BYTES),
+                            stats, interval_s=2e-3, until=4.0),
+                name="chaos-probe")
+    env.run(until=5.0)
+    retries = registry.get("client.retries")
+    return _finish(
+        "link-flap", seed, harness, injector, registry, stats,
+        {"retries": retries.value if retries is not None else 0.0})
+
+
+def _slow_node(seed: int) -> ChaosReport:
+    """A throttled server plus a fabric-wide latency spike."""
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    env = harness.env
+    client = harness.redy_client("chaos-slow-app")
+    cache = client.create(CAPACITY, SLO, region_bytes=REGION,
+                          file=_backing(CAPACITY))
+    target = cache.allocation.servers[0].endpoint.name
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    schedule = FaultSchedule([
+        SlowNode(at=1.0, endpoint=target, duration_s=1.0, factor=16.0),
+        LatencySpike(at=1.5, duration_s=0.5, extra_s=100e-6),
+    ])
+    injector.arm(schedule)
+
+    stats = _ProbeStats(SLO.max_latency)
+    env.process(_probe_loop(env, lambda: cache.read(4096, PROBE_BYTES),
+                            stats, interval_s=2e-3, until=3.0),
+                name="chaos-probe")
+    env.run(until=4.0)
+    return _finish("slow-node", seed, harness, injector, registry, stats)
+
+
+SCENARIOS: Dict[str, Callable[[int], ChaosReport]] = {
+    "spot-churn": _spot_churn,
+    "evict-primary": _evict_primary,
+    "link-flap": _link_flap,
+    "slow-node": _slow_node,
+}
+
+
+def run_scenario(name: str, seed: int = 0) -> ChaosReport:
+    """Run one named scenario; deterministic in (name, seed)."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {name!r}; "
+            f"available: {', '.join(sorted(SCENARIOS))}") from None
+    return scenario(seed)

@@ -62,6 +62,13 @@ class Endpoint:
         self.tx_busy_seconds = 0.0
         self.regions: Dict[int, MemoryRegion] = {}
         self.alive = True
+        #: Every queue pair touching this endpoint (either side), so a
+        #: link fault can flush all of them (see ``repro.faults``).
+        self.qps: list = []
+        #: Serialization slowdown factor (>= 1).  ``repro.faults`` sets
+        #: it above 1 to model a throttled/overheating node; all outbound
+        #: wire time stretches by this factor while it is raised.
+        self.throttle = 1.0
 
     def register(self, region: MemoryRegion) -> MemoryRegion:
         """Register a memory region with this NIC."""
@@ -102,6 +109,10 @@ class Fabric:
         #: Shared rack-uplink serializers, created lazily per rack when
         #: the profile declares finite uplink bandwidth.
         self._uplinks: Dict[tuple[int, int], Resource] = {}
+        #: Fabric-wide extra one-way propagation delay, seconds.  The
+        #: fault injector raises it for the duration of a transient
+        #: latency spike (congestion, PFC storm) and lowers it back.
+        self.extra_latency_s = 0.0
         metrics = registry_of(env)
         if metrics is not None:
             self._bytes_moved = metrics.counter("fabric.bytes")
@@ -156,7 +167,7 @@ class Fabric:
         nic = self.profile.nic
         yield src.tx_link.acquire()
         try:
-            wire_time = nic.wire_time(wire_payload_bytes)
+            wire_time = nic.wire_time(wire_payload_bytes) * src.throttle
             yield self.env.timeout(wire_time)
             src.tx_busy_seconds += wire_time
             if self._tx_busy is not None:
@@ -178,4 +189,5 @@ class Fabric:
                         wire_payload_bytes * 8 / (uplink_gbps * 1e9))
                 finally:
                     uplink.release()
-        yield self.env.timeout(self.profile.fabric.one_way_base(hops))
+        yield self.env.timeout(self.profile.fabric.one_way_base(hops)
+                               + self.extra_latency_s)

@@ -48,6 +48,13 @@ class QueuePair:
         self._backlog: Deque[tuple[WorkRequest, Event]] = deque()
         #: Completions pending in-order delivery, keyed by arrival.
         self._connected = True
+        #: Transient error state (RDMA "QP in error"): posts flush with
+        #: error completions instead of raising, until :meth:`reconnect`.
+        self._error_state: Optional[str] = None
+        # Register on both endpoints so a link fault on either side can
+        # find and flush every QP touching it (see repro.faults).
+        local.qps.append(self)
+        remote.qps.append(self)
         metrics = registry_of(env)
         if metrics is not None:
             self._wire_latency = metrics.histogram("qp.wire_latency")
@@ -76,14 +83,48 @@ class QueuePair:
         unsent backlog is failed here.
         """
         self._connected = False
+        self._flush_backlog("queue pair disconnected")
+
+    def _flush_backlog(self, reason: str) -> None:
         while self._backlog:
             wr, event = self._backlog.popleft()
-            completion = self._error_completion(wr, "queue pair disconnected")
+            completion = self._error_completion(wr, reason)
             if self._error_completions is not None:
                 self._error_completions.inc()
             event.succeed(completion)
         if self._backlog_depth is not None:
             self._backlog_depth.set(0)
+
+    @property
+    def in_error(self) -> bool:
+        return self._error_state is not None
+
+    def inject_error(self, reason: str = "queue pair in error state") -> None:
+        """Put the QP into the RDMA *error* state (link fault, remote
+        QP teardown).
+
+        The unsent backlog flushes with error completions now, and every
+        later :meth:`post` completes-with-error immediately -- how real
+        RC QPs surface a broken connection through the completion queue
+        -- until :meth:`reconnect` re-establishes the connection.
+        Operations already on the wire keep running; if the fault also
+        killed the remote endpoint they error there.
+        """
+        self._error_state = reason
+        self._flush_backlog(reason)
+
+    def reconnect(self) -> None:
+        """Leave the error state (connection re-established).
+
+        Mirrors the QP recycle a host does after a transport error:
+        both endpoints must still be alive, and the QP must not have
+        been deliberately torn down with :meth:`disconnect`.
+        """
+        if not self._connected:
+            raise QueuePairError("reconnect() on a disconnected queue pair")
+        if not (self.local.alive and self.remote.alive):
+            raise QueuePairError("reconnect() with a dead endpoint")
+        self._error_state = None
 
     def post(self, wr: WorkRequest) -> Event:
         """Post a work request; returns an event that fires with its
@@ -99,7 +140,15 @@ class QueuePair:
         if self._ops_posted is not None:
             self._ops_posted.inc()
         completion_event = self.env.event()
-        if self._in_flight < self.max_depth:
+        if self._error_state is not None:
+            # Completion-with-error flush: the post is accepted (callers
+            # keep their completion-driven control flow) but fails on the
+            # next kernel step, like a work request hitting an errored QP.
+            if self._error_completions is not None:
+                self._error_completions.inc()
+            completion_event.succeed(
+                self._error_completion(wr, self._error_state))
+        elif self._in_flight < self.max_depth:
             self._launch(wr, completion_event)
         else:
             self._backlog.append((wr, completion_event))

@@ -60,9 +60,17 @@ class ClusterHarness:
 
 def build_cluster(seed: int = 0, n_servers: int = 8,
                   profile: TestbedProfile = AZURE_HPC,
-                  provisioning_delay_s: float = 0.0) -> ClusterHarness:
-    """A fresh environment + cluster + cache manager."""
+                  provisioning_delay_s: float = 0.0,
+                  metrics=None) -> ClusterHarness:
+    """A fresh environment + cluster + cache manager.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) is installed on
+    the environment *before* any component is built, so everything the
+    harness constructs instruments itself.
+    """
     env = Environment()
+    if metrics is not None:
+        metrics.install(env)
     rngs = RngRegistry(seed)
     fabric = Fabric(env, profile)
     servers = [

@@ -81,6 +81,37 @@ class TestSpotGuard:
         assert cache.migrations
         assert guard.preemptive_migrations == 0
 
+    def test_notice_during_preemptive_migration_does_not_double_migrate(
+            self):
+        # The §6.1 race: the guard starts moving a VM's regions early,
+        # and the provider's real reclamation notice lands while that
+        # migration is still in flight.  The notice path must yield to
+        # the in-flight mover (claim_migration), not start a second one.
+        harness = build_cluster(seed=30, provisioning_delay_s=1.0)
+        cache = make_cache(harness)
+        vm = cache.allocation.vms[0]
+        predictor = trained_predictor(median_lifetime=100.0)
+        guard = SpotGuard(cache, predictor, check_interval_s=1.0, risk=0.1)
+
+        env = harness.env
+        while guard.preemptive_migrations == 0:
+            env.run(until=env.now + 0.25)
+        # The preemptive move is mid-flight (replacement provisioning
+        # takes 1 s); now the real notice arrives for the same VM.
+        assert vm.vm_id in cache._migrating
+        harness.allocator.reclaim(vm, notice_s=10.0)
+        env.run(until=env.now + 20.0)
+
+        # Exactly one migration happened, and it succeeded.
+        assert guard.preemptive_migrations == 1
+        assert len(cache.migrations) == 1
+        assert cache.migration_failures == 0
+        assert not cache._migrating
+        # One VM in, one VM out: the notice path provisioned nothing.
+        assert len(cache.allocation.vms) == 1
+        assert cache.allocation.vms[0] is not vm
+        assert cache.allocation.vms[0].alive
+
     def test_validation(self):
         harness = build_cluster(seed=8)
         cache = make_cache(harness)

@@ -81,6 +81,44 @@ def test_sweep_table_output_without_cache(capsys):
     assert "0 cache hits" in out
 
 
+def test_chaos_lists_scenarios(capsys):
+    assert main(["chaos"]) == 0
+    out = capsys.readouterr().out
+    assert "spot-churn" in out
+    assert "evict-primary" in out
+
+
+def test_chaos_unknown_scenario_is_an_error(capsys):
+    assert main(["chaos", "nope"]) == 1
+    assert "unknown chaos scenario" in capsys.readouterr().out
+
+
+def test_chaos_runs_scenario_and_dumps_fault_log(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "chaos.json"
+    assert main(["chaos", "slow-node", "--seed", "5",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fault log:" in out
+    assert "slow-node" in out
+    assert "fault-log digest:" in out
+
+    blob = json.loads(out_path.read_text())
+    assert blob["schema"] == "repro.faults/v1"
+    assert blob["seed"] == 5
+    assert blob["summary"]["probes"] > 0
+    kinds = {event["kind"] for event in blob["events"]}
+    assert {"slow-node", "slow-node-cleared",
+            "latency-spike", "latency-spike-cleared"} <= kinds
+
+    # Same seed => bit-identical fault trace (the digest proves it).
+    assert main(["chaos", "slow-node", "--seed", "5", "--json"]) == 0
+    again = json.loads(capsys.readouterr().out)
+    assert again["digest"] == blob["digest"]
+    assert again["events"] == blob["events"]
+
+
 def test_kernelbench_prints_steps_per_second(capsys):
     assert main(["kernelbench", "--rounds", "1", "--batches", "20"]) == 0
     out = capsys.readouterr().out
