@@ -15,6 +15,9 @@ Convenience launcher for a repository checkout:
 * ``python -m repro chaos spot-churn`` -- run one named fault-injection
   scenario and dump its fault log + availability summary
   (``repro.faults``); same seed, bit-identical fault trace;
+* ``python -m repro shard`` -- drive zipfian YCSB traffic across the
+  sharded scale-out tier (``repro.shard``) and dump the fleet stats;
+  ``--smoke`` runs the quick CI invariants (kill-survival, determinism);
 * ``python -m repro examples`` -- list the example applications.
 """
 
@@ -280,6 +283,175 @@ def cmd_chaos(scenario: str | None, seed: int, as_json: bool,
     return 0
 
 
+def _shard_run(seed: int, shards: int, ops: int, replication: int,
+               hot: bool, kill: bool) -> dict:
+    """One deterministic fleet run; the blob both views print from."""
+    from repro.core import Slo
+    from repro.obs.metrics import MetricsRegistry
+    from repro.shard import HotKeyPolicy, ShardRouter
+    from repro.workloads.runner import run_router_workload
+    from repro.workloads.scenarios import build_cluster
+    from repro.workloads.ycsb import YcsbWorkload
+
+    region = 1 << 20
+    capacity = 2 * region
+    record_bytes = 64
+    slo = Slo(max_latency=1e-3, min_throughput=1e5, record_size=512)
+
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    client = harness.redy_client("shard-cli")
+    members = {
+        f"s{i:02d}": client.create(capacity, slo, duration_s=3600.0,
+                                   region_bytes=region)
+        for i in range(shards)
+    }
+    router = ShardRouter(
+        harness.env, members, slot_bytes=1 << 14,
+        replication=replication, hedge_after_s=200e-6,
+        hotkeys=HotKeyPolicy() if hot else None)
+    router.load(0, bytes(range(256)) * (capacity // 256))
+
+    workload = YcsbWorkload(
+        "cli-zipfian", n_records=capacity // record_bytes,
+        value_bytes=record_bytes, read_proportion=0.95,
+        update_proportion=0.05, distribution="zipfian", theta=0.99)
+    keys, is_read = workload.sample_ops(ops, harness.rngs.stream("ycsb"))
+    result = run_router_workload(
+        harness.env, router, keys=keys, is_read=is_read,
+        record_bytes=record_bytes, concurrency=8 * shards)
+
+    kill_stats = None
+    if kill:
+        victim_name = sorted(members)[1]
+        acked = {}
+
+        def kill_and_verify():
+            # Acknowledge a write per sampled slot, then hard-kill the
+            # victim and check every ack survives the rebalance.
+            for slot in range(0, router.n_slots, 4):
+                addr = slot * router.slot_bytes
+                data = bytes([slot % 251]) * record_bytes
+                res = yield router.write(addr, data)
+                assert res.ok
+                acked[addr] = data
+            for vm in list(members[victim_name].allocation.vms):
+                if vm.alive:
+                    harness.allocator.fail(vm)
+            while (router._membership_tail is not None
+                   and not router._membership_tail.processed):
+                yield router._membership_tail
+            lost = 0
+            for addr, data in acked.items():
+                res = yield router.read(addr, len(data))
+                if not (res.ok and res.data == data):
+                    lost += 1
+            return lost
+
+        lost = harness.env.run_process(kill_and_verify())
+        report = router.reports[-1]
+        kill_stats = {
+            "victim": victim_name,
+            "acked_writes_checked": len(acked),
+            "acked_writes_lost": lost,
+            "rebalance": report.to_dict(),
+            "members_after": router.members,
+        }
+
+    return {
+        "schema": "repro.shard/v1",
+        "seed": seed,
+        "shards": shards,
+        "replication": replication,
+        "hotkeys": hot,
+        "ops": ops,
+        "throughput_ops_s": result.throughput,
+        "latency_mean_s": result.latency_mean,
+        "latency_p99_s": result.latency_p99,
+        "reads": result.reads,
+        "writes": result.writes,
+        "failed": result.failed,
+        "hot_slots": {str(slot): list(extras)
+                      for slot, extras in sorted(
+                          router.hot_slots().items())},
+        "kill": kill_stats,
+        "metrics": registry.snapshot(),
+    }
+
+
+def cmd_shard(seed: int, shards: int, ops: int, replication: int,
+              no_hotkeys: bool, smoke: bool, as_json: bool,
+              out: str | None) -> int:
+    """Drive zipfian YCSB traffic across the sharded scale-out tier.
+
+    The default run reports fleet throughput/latency and per-shard
+    load; ``--smoke`` is the CI gate: it also hard-kills a member
+    mid-fleet (replication must keep every acknowledged write), then
+    repeats the run to assert bit-identical metrics.
+    """
+    hot = not no_hotkeys
+    if smoke:
+        shards, ops, replication = min(shards, 4), min(ops, 3000), 2
+    blob = _shard_run(seed, shards, ops, replication, hot, kill=smoke)
+
+    if smoke:
+        failures = []
+        if blob["failed"]:
+            failures.append(f"{blob['failed']} workload ops failed")
+        kill = blob["kill"]
+        if kill["acked_writes_lost"]:
+            failures.append(
+                f"{kill['acked_writes_lost']} acknowledged writes lost")
+        if kill["rebalance"]["lost_slots"]:
+            failures.append(
+                f"{kill['rebalance']['lost_slots']} slots lost in "
+                "rebalance")
+        if len(kill["members_after"]) != shards - 1:
+            failures.append("victim still on the ring")
+        replay = _shard_run(seed, shards, ops, replication, hot,
+                            kill=smoke)
+        if replay["metrics"] != blob["metrics"]:
+            failures.append("same-seed replay diverged")
+        for line in failures:
+            print(f"FAIL: {line}")
+        if not failures:
+            print(f"shard smoke OK: {shards} shards, {blob['ops']} ops, "
+                  f"{blob['throughput_ops_s']:.0f} ops/s, kill of "
+                  f"{kill['victim']} survived with 0 lost acks, "
+                  "replay bit-identical")
+        if out:
+            pathlib.Path(out).write_text(
+                json.dumps(blob, indent=2, sort_keys=True) + "\n")
+        return 1 if failures else 0
+
+    if out:
+        pathlib.Path(out).write_text(
+            json.dumps(blob, indent=2, sort_keys=True) + "\n")
+    if as_json:
+        print(json.dumps(blob, indent=2, sort_keys=True))
+        return 0
+    print(f"== shard fleet (seed {seed}) ==")
+    print(f"shards={shards} replication={replication} "
+          f"hotkeys={'on' if hot else 'off'} ops={blob['ops']}")
+    print(f"throughput: {blob['throughput_ops_s']:,.0f} ops/s   "
+          f"mean {blob['latency_mean_s'] * 1e6:.1f} us   "
+          f"p99 {blob['latency_p99_s'] * 1e6:.1f} us   "
+          f"failed {blob['failed']}")
+    shard_reads = {name: int(m["value"])
+                   for name, m in blob["metrics"].items()
+                   if name.startswith("shard.reads{")}
+    if shard_reads:
+        print("per-shard reads:")
+        for name in sorted(shard_reads):
+            label = name.split('"')[1]
+            print(f"  {label:<6} {shard_reads[name]:>8}")
+    if blob["hot_slots"]:
+        print(f"hot slots: {', '.join(sorted(blob['hot_slots']))}")
+    if out:
+        print(f"report written to {out}")
+    return 0
+
+
 def cmd_examples() -> int:
     if not _EXAMPLES.is_dir():
         print("no examples/ directory found")
@@ -343,6 +515,21 @@ def main(argv: list[str] | None = None) -> int:
                        help="emit the full report as one JSON blob")
     chaos.add_argument("--out", default=None,
                        help="also write the JSON report to this file")
+    shard = sub.add_parser(
+        "shard",
+        help="drive YCSB traffic across the sharded scale-out tier")
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--ops", type=int, default=6000)
+    shard.add_argument("--replication", type=int, default=2)
+    shard.add_argument("--no-hotkeys", action="store_true",
+                       help="disable hot-key replication")
+    shard.add_argument("--smoke", action="store_true",
+                       help="CI gate: kill-survival + determinism checks")
+    shard.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the full report as one JSON blob")
+    shard.add_argument("--out", default=None,
+                       help="also write the JSON report to this file")
     sub.add_parser("examples", help="list example applications")
     args = parser.parse_args(argv)
 
@@ -364,6 +551,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "chaos":
             return cmd_chaos(args.scenario, args.seed, args.as_json,
                              args.out)
+        if args.command == "shard":
+            return cmd_shard(args.seed, args.shards, args.ops,
+                             args.replication, args.no_hotkeys,
+                             args.smoke, args.as_json, args.out)
         return cmd_examples()
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.

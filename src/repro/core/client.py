@@ -76,6 +76,14 @@ class RetryPolicy:
     #: timeout machinery.  An expired attempt counts as failed (its
     #: in-flight I/O is abandoned, not cancelled -- RDMA semantics).
     attempt_timeout_s: Optional[float] = None
+    #: Backoff jitter in [0, 1]: each wait is scaled by a factor drawn
+    #: uniformly from ``[1 - jitter, 1]``.  With N clients retrying
+    #: after the *same* fault (a shard VM kill hits every router
+    #: front-end at once), zero jitter retries them in lockstep --
+    #: synchronized retry storms at every backoff step.  The draw comes
+    #: from the caller's sim RNG stream, so schedules are decorrelated
+    #: across clients yet bit-reproducible from the seed.
+    jitter: float = 0.0
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -84,11 +92,21 @@ class RetryPolicy:
             raise ValueError("need 0 <= base_backoff_s <= max_backoff_s")
         if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
             raise ValueError("attempt_timeout_s must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
-    def backoff_s(self, failures: int) -> float:
-        """Wait after ``failures`` consecutive failed attempts (>= 1)."""
-        return min(self.base_backoff_s * (2.0 ** (failures - 1)),
+    def backoff_s(self, failures: int, rng=None) -> float:
+        """Wait after ``failures`` consecutive failed attempts (>= 1).
+
+        ``rng`` (a ``numpy`` generator, normally a per-cache stream from
+        the sim's :class:`~repro.sim.rng.RngRegistry`) supplies the
+        jitter draw; without one the wait is the deterministic cap.
+        """
+        wait = min(self.base_backoff_s * (2.0 ** (failures - 1)),
                    self.max_backoff_s)
+        if self.jitter > 0.0 and rng is not None:
+            wait *= 1.0 - self.jitter * float(rng.random())
+        return wait
 
 
 class RedyClient:
@@ -167,6 +185,10 @@ class RedyCache:
         self.path = CacheDataPath(
             self.env, self.profile, allocation.config, client.endpoint,
             client.rngs.stream(f"cache-path-{allocation.allocation_id}"))
+        #: Per-cache jitter stream: caches retrying after the same fault
+        #: draw from distinct streams, so their schedules decorrelate.
+        self._retry_rng = client.rngs.stream(
+            f"client-retry-{allocation.allocation_id}")
         self.table = RegionTable(self.env, region_bytes)
         self._attached: set[str] = set()
         for server in allocation.servers:
@@ -284,7 +306,8 @@ class RedyCache:
             if attempt:
                 if self._retries_counter is not None:
                     self._retries_counter.inc()
-                yield self.env.timeout(policy.backoff_s(attempt))
+                yield self.env.timeout(
+                    policy.backoff_s(attempt, rng=self._retry_rng))
             if self.deleted:
                 result = CacheIoResult(ok=False, error="cache was deleted")
                 break

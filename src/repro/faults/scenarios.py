@@ -289,10 +289,72 @@ def _slow_node(seed: int) -> ChaosReport:
     return _finish("slow-node", seed, harness, injector, registry, stats)
 
 
+def _shard_churn(seed: int) -> ChaosReport:
+    """Hard-kill one member of a replicated shard fleet mid-traffic.
+
+    A 4-shard :class:`~repro.shard.router.ShardRouter` (replication=2)
+    serves rotating probes while every VM of one member dies at t=1 s.
+    The fault wiring must turn the kill into an emergency ring
+    departure whose rebalance streams the lost ranges off surviving
+    replicas -- the report carries the rebalance stats and the probe
+    availability through the event.
+    """
+    from repro.shard import ShardRouter
+
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    env = harness.env
+    client = harness.redy_client("chaos-shard-app")
+    capacity = 2 * REGION
+    members = {
+        f"s{i}": client.create(capacity, SLO, duration_s=3600.0,
+                               region_bytes=REGION)
+        for i in range(4)
+    }
+    router = ShardRouter(env, members, slot_bytes=1 << 14, replication=2)
+    router.load(0, _backing(capacity))
+
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    victim = members["s1"]
+    kills = FaultSchedule([
+        VmKill(at=1.0, vm_index=i)
+        for i in range(len(victim.allocation.vms))
+    ])
+    injector.arm(kills, cache=victim)
+
+    stats = _ProbeStats(SLO.max_latency)
+    probe_addrs = [slot * (1 << 14) + 4096 for slot in range(8)]
+    cursor = {"i": 0}
+
+    def probe_read():
+        addr = probe_addrs[cursor["i"] % len(probe_addrs)]
+        cursor["i"] += 1
+        return router.read(addr, PROBE_BYTES)
+
+    env.process(_probe_loop(env, probe_read, stats,
+                            interval_s=2e-3, until=3.0),
+                name="chaos-probe")
+    env.run(until=4.0)
+    rebalance = router.reports[-1] if router.reports else None
+    return _finish(
+        "shard-churn", seed, harness, injector, registry, stats,
+        {"members_after": float(len(router.members)),
+         "rebalances": float(len(router.reports)),
+         "rebalance_duration_s": (rebalance.duration if rebalance
+                                  else 0.0),
+         "rebalance_bytes": (float(rebalance.bytes_moved) if rebalance
+                             else 0.0),
+         "lost_slots": (float(rebalance.lost_slots) if rebalance
+                        else 0.0)})
+
+
 SCENARIOS: Dict[str, Callable[[int], ChaosReport]] = {
     "spot-churn": _spot_churn,
     "evict-primary": _evict_primary,
     "link-flap": _link_flap,
+    "shard-churn": _shard_churn,
     "slow-node": _slow_node,
 }
 

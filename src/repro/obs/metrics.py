@@ -24,6 +24,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "split_labeled_name",
 ]
 
 
@@ -33,19 +34,78 @@ def _geometric_buckets(lo: float, hi: float, per_decade: int) -> tuple:
     return tuple(lo * 10.0 ** (i / per_decade) for i in range(n + 1))
 
 
+def _label_key(labels: Dict[str, str]) -> tuple:
+    """Canonical (sorted) identity of one label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labeled_name(base: str, labels: Dict[str, str]) -> str:
+    """``base{k="v",...}`` -- the flat snapshot key of a labeled child."""
+    inner = ",".join(f'{k}="{v}"' for k, v in _label_key(labels))
+    return f"{base}{{{inner}}}"
+
+
+def split_labeled_name(name: str) -> str:
+    """The base (family) name of a possibly-labeled metric name."""
+    brace = name.find("{")
+    return name if brace < 0 else name[:brace]
+
+
+class _LabeledMixin:
+    """Shared ``labels()`` machinery for Counter/Gauge/Histogram.
+
+    A metric without labels is a *family*: calling
+    ``metric.labels(shard="s3")`` returns (creating on first use) a child
+    of the same class named ``metric{shard="s3"}``.  Children update
+    independently of the family -- the family's own value stays whatever
+    direct ``inc``/``set``/``observe`` calls made it -- which keeps label
+    fan-out allocation-free on the hot path: look the child up once at
+    construction, then update plain attributes.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **labels: str):
+        if not labels:
+            raise ValueError(f"metric {self.name!r}: labels() needs at "
+                             f"least one label")
+        if self._labels is not None:
+            raise ValueError(f"metric {self.name!r} is already labeled; "
+                             f"nested labels are not supported")
+        key = _label_key(labels)
+        if self._children is None:
+            self._children = {}
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child(labels)
+            self._children[key] = child
+        return child
+
+    def children(self) -> list:
+        """Labeled children, sorted by label identity (deterministic)."""
+        if not self._children:
+            return []
+        return [self._children[key] for key in sorted(self._children)]
+
+
 #: 100 ns .. 10 s, eight buckets per decade: fine enough to resolve the
 #: paper's 5 us vs 7.1 us optimization steps, coarse enough to stay tiny.
 DEFAULT_LATENCY_BUCKETS = _geometric_buckets(1e-7, 10.0, per_decade=8)
 
 
-class Counter:
+class Counter(_LabeledMixin):
     """A monotonically increasing count (ops issued, bytes moved)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_labels", "_children")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
         self.name = name
         self.value = 0.0
+        self._labels = dict(labels) if labels else None
+        self._children = None
+
+    def _make_child(self, labels: Dict[str, str]) -> "Counter":
+        return Counter(_labeled_name(self.name, labels), labels)
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -53,22 +113,30 @@ class Counter:
         self.value += amount
 
     def to_dict(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        out = {"type": "counter", "value": self.value}
+        if self._labels:
+            out["labels"] = dict(sorted(self._labels.items()))
+        return out
 
 
-class Gauge:
+class Gauge(_LabeledMixin):
     """An instantaneous level (backlog depth, in-flight ops).
 
     Tracks the running maximum alongside the current value so a snapshot
     taken at the end of a run still shows the high-water mark.
     """
 
-    __slots__ = ("name", "value", "max_value")
+    __slots__ = ("name", "value", "max_value", "_labels", "_children")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
         self.name = name
         self.value = 0.0
         self.max_value = 0.0
+        self._labels = dict(labels) if labels else None
+        self._children = None
+
+    def _make_child(self, labels: Dict[str, str]) -> "Gauge":
+        return Gauge(_labeled_name(self.name, labels), labels)
 
     def set(self, value: float) -> None:
         self.value = value
@@ -79,10 +147,13 @@ class Gauge:
         self.set(self.value + delta)
 
     def to_dict(self) -> dict:
-        return {"type": "gauge", "value": self.value, "max": self.max_value}
+        out = {"type": "gauge", "value": self.value, "max": self.max_value}
+        if self._labels:
+            out["labels"] = dict(sorted(self._labels.items()))
+        return out
 
 
-class Histogram:
+class Histogram(_LabeledMixin):
     """Fixed-bucket distribution with percentile reconstruction.
 
     ``bounds`` are bucket *upper* edges; observations above the last
@@ -92,10 +163,11 @@ class Histogram:
     """
 
     __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum",
-                 "min", "max")
+                 "min", "max", "_labels", "_children")
 
     def __init__(self, name: str,
-                 bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+                 bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 labels: Optional[Dict[str, str]] = None):
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError("histogram bounds must be sorted and non-empty")
         self.name = name
@@ -106,6 +178,14 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._labels = dict(labels) if labels else None
+        self._children = None
+
+    def _make_child(self, labels: Dict[str, str]) -> "Histogram":
+        # Children inherit the family's bucket layout, so merging and
+        # cross-shard comparisons always line up.
+        return Histogram(_labeled_name(self.name, labels), self.bounds,
+                         labels)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -238,6 +318,8 @@ class Histogram:
             # layouts stay compact (and byte-compatible with pre-existing
             # benchmark blobs).
             out["bounds"] = list(self.bounds)
+        if self._labels:
+            out["labels"] = dict(sorted(self._labels.items()))
         return out
 
 
@@ -287,8 +369,12 @@ class MetricsRegistry:
         return sorted(self._metrics)
 
     def snapshot(self) -> Dict[str, dict]:
-        return {name: metric.to_dict()
-                for name, metric in sorted(self._metrics.items())}
+        flat: Dict[str, dict] = {}
+        for name, metric in self._metrics.items():
+            flat[name] = metric.to_dict()
+            for child in metric.children():
+                flat[child.name] = child.to_dict()
+        return {name: flat[name] for name in sorted(flat)}
 
     def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
@@ -296,22 +382,35 @@ class MetricsRegistry:
         Counters and histogram buckets add; gauges take the snapshot's
         value (and the max of the high-water marks), matching what a
         sequential run that ``set()`` them in the same order would show.
-        Merging per-task snapshots in task order is how the sweep
-        executor makes serial, parallel, and cache-hit runs produce the
-        same registry contents.
+        Labeled entries (``name{k="v"}`` keys carrying a ``labels``
+        dict) are routed back through ``family.labels(...)``, so
+        snapshot -> merge round-trips label structure, not just flat
+        names.  Merging per-task snapshots in task order is how the
+        sweep executor makes serial, parallel, and cache-hit runs
+        produce the same registry contents.
         """
         for name, blob in snapshot.items():
             kind = blob["type"]
+            labels = blob.get("labels")
+            base = split_labeled_name(name) if labels else name
             if kind == "counter":
-                self.counter(name).inc(blob["value"])
+                counter = self.counter(base)
+                if labels:
+                    counter = counter.labels(**labels)
+                counter.inc(blob["value"])
             elif kind == "gauge":
-                gauge = self.gauge(name)
+                gauge = self.gauge(base)
+                if labels:
+                    gauge = gauge.labels(**labels)
                 gauge.set(blob["value"])
                 if blob["max"] > gauge.max_value:
                     gauge.max_value = blob["max"]
             elif kind == "histogram":
                 bounds = blob.get("bounds", DEFAULT_LATENCY_BUCKETS)
-                self.histogram(name, bounds).merge_dict(blob)
+                histogram = self.histogram(base, bounds)
+                if labels:
+                    histogram = histogram.labels(**labels)
+                histogram.merge_dict(blob)
             else:
                 raise ValueError(
                     f"metric {name!r}: unknown snapshot type {kind!r}")

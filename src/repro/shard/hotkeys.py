@@ -1,0 +1,95 @@
+"""Sliding-window top-k hot-key detection.
+
+Zipfian traffic concentrates a large fraction of all reads on a handful
+of keys; whatever shard owns the hottest key saturates while the rest of
+the fleet idles (RDCA's motivation for keeping the hot set in the fast
+tier applies per shard).  The router counters this by *promoting* hot
+slots to R read replicas and round-robining their reads.
+
+The detector here is the policy half: a sliding window of the last
+``window`` slot accesses with exact per-slot counts (the window is a few
+thousand entries, so exact counting is cheaper than a sketch and -- more
+importantly -- deterministic).  Every ``check_every`` accesses the
+router asks for the current top-k and reconciles promotions/demotions.
+
+No randomness, no wall clock: identical access streams produce identical
+promotion decisions, which the shard determinism tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List
+
+__all__ = ["HotKeyDetector", "HotKeyPolicy"]
+
+
+@dataclass(frozen=True)
+class HotKeyPolicy:
+    """Knobs of the hot-key detection/replication loop."""
+
+    #: Sliding window length, in slot accesses.
+    window: int = 2048
+    #: At most this many slots are hot at once.
+    top_k: int = 8
+    #: A slot must appear this often inside the window to qualify --
+    #: keeps a uniform workload (where the top slot is barely above
+    #: average) from churning pointless promotions.
+    min_count: int = 64
+    #: Total read copies of a hot slot, the primary owner included.
+    replicas: int = 2
+    #: Reconcile promotions/demotions every this many accesses.
+    check_every: int = 256
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.check_every < 1:
+            raise ValueError("check_every must be >= 1")
+
+
+class HotKeyDetector:
+    """Exact sliding-window slot frequencies with top-k extraction."""
+
+    def __init__(self, policy: HotKeyPolicy = HotKeyPolicy()):
+        self.policy = policy
+        self._window: Deque[int] = deque()
+        self._counts: Dict[int, int] = {}
+        #: Lifetime accesses recorded (drives the check cadence).
+        self.accesses = 0
+
+    def record(self, slot: int) -> bool:
+        """Count one access; True when a reconcile pass is due."""
+        self.accesses += 1
+        self._window.append(slot)
+        self._counts[slot] = self._counts.get(slot, 0) + 1
+        if len(self._window) > self.policy.window:
+            expired = self._window.popleft()
+            remaining = self._counts[expired] - 1
+            if remaining:
+                self._counts[expired] = remaining
+            else:
+                del self._counts[expired]
+        return self.accesses % self.policy.check_every == 0
+
+    def count(self, slot: int) -> int:
+        """In-window access count of ``slot``."""
+        return self._counts.get(slot, 0)
+
+    def hot_slots(self) -> List[int]:
+        """The current top-k slots at or above the promotion threshold.
+
+        Sorted hottest first; ties break on the smaller slot id so the
+        result is deterministic for identical access streams.
+        """
+        eligible = [(count, slot) for slot, count in self._counts.items()
+                    if count >= self.policy.min_count]
+        eligible.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [slot for _count, slot in eligible[:self.policy.top_k]]

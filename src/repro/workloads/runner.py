@@ -17,7 +17,8 @@ from repro.faster.store import FasterKv
 from repro.sim.kernel import Environment
 from repro.sim.resources import Resource
 
-__all__ = ["KvRunResult", "run_kv_workload"]
+__all__ = ["KvRunResult", "RouterRunResult", "run_kv_workload",
+           "run_router_workload"]
 
 
 @dataclass(frozen=True)
@@ -106,4 +107,94 @@ def run_kv_workload(env: Environment, store: FasterKv, *,
         ops_measured=measured,
         memory_hit_fraction=served.get("memory", 0) / total_served,
         served_by=dict(served),
+    )
+
+
+@dataclass(frozen=True)
+class RouterRunResult:
+    """Measured outcome of one closed-loop run against a ShardRouter."""
+
+    throughput: float
+    latency_mean: float
+    latency_p99: float
+    ops_measured: int
+    reads: int
+    writes: int
+    failed: int
+
+    @property
+    def throughput_mops(self) -> float:
+        return self.throughput / 1e6
+
+
+def run_router_workload(env: Environment, router, *,
+                        keys: np.ndarray,
+                        is_read: np.ndarray,
+                        record_bytes: int = 64,
+                        concurrency: int = 64,
+                        warmup_fraction: float = 0.1) -> RouterRunResult:
+    """Drive a :class:`~repro.shard.router.ShardRouter` closed-loop.
+
+    ``concurrency`` client slots pull (key, op) pairs off a shared
+    cursor -- the YCSB client-pool shape -- mapping key ``k`` to the
+    record-aligned address ``(k % records) * record_bytes``.  Zipfian
+    key streams therefore concentrate on a few slots, which is what the
+    hot-key tier is for.  Throughput is measured after
+    ``warmup_fraction`` of the operations completed (past ring warmup
+    and the first hot-key promotions).
+    """
+    if len(keys) != len(is_read):
+        raise ValueError("keys and is_read must have equal length")
+    records = router.capacity // record_bytes
+    if records < 1:
+        raise ValueError("record_bytes exceeds router capacity")
+    n_ops = len(keys)
+    warmup_ops = int(n_ops * warmup_fraction)
+
+    cursor = {"next": 0, "done": 0}
+    window = {"t0": None, "w0": 0, "t1": None, "w1": 0}
+    latencies: list[float] = []
+    counts = {"reads": 0, "writes": 0, "failed": 0}
+    payload = b"\xab" * record_bytes
+
+    def slot():
+        while cursor["next"] < n_ops:
+            op_index = cursor["next"]
+            cursor["next"] += 1
+            addr = (int(keys[op_index]) % records) * record_bytes
+            start = env.now
+            if is_read[op_index]:
+                result = yield router.read(addr, record_bytes)
+                counts["reads"] += 1
+            else:
+                result = yield router.write(addr, payload)
+                counts["writes"] += 1
+            if not result.ok:
+                counts["failed"] += 1
+            cursor["done"] += 1
+            if cursor["done"] > warmup_ops:
+                latencies.append(env.now - start)
+                if window["t0"] is None:
+                    window["t0"] = env.now
+                    window["w0"] = cursor["done"]
+            window["t1"] = env.now
+            window["w1"] = cursor["done"]
+
+    for slot_index in range(concurrency):
+        env.process(slot(), name=f"router-load:s{slot_index}")
+    env.run()
+
+    if window["t0"] is None or window["t1"] == window["t0"]:
+        raise RuntimeError("run too short to measure; increase n_ops")
+    duration = window["t1"] - window["t0"]
+    measured = window["w1"] - window["w0"]
+    samples = np.asarray(latencies)
+    return RouterRunResult(
+        throughput=measured / duration,
+        latency_mean=float(samples.mean()),
+        latency_p99=float(np.percentile(samples, 99)),
+        ops_measured=measured,
+        reads=counts["reads"],
+        writes=counts["writes"],
+        failed=counts["failed"],
     )

@@ -87,3 +87,72 @@ def test_property_occupancy_invariants(operations):
         assert ring.total_pushed - ring.total_popped == len(ring)
         assert ring.is_full == (ring.free_slots == 0)
         assert ring.is_empty == (len(ring) == 0)
+
+
+def test_wraparound_many_cycles_preserves_fifo_and_counters():
+    """Push/pop far past capacity: the ring's logical head wraps many
+    times; FIFO order and the lifetime counters must survive every lap."""
+    capacity = 4
+    ring = RingBuffer(capacity)
+    expected = []
+    next_value = 0
+    # 25 laps around a 4-slot ring, at varying occupancy each lap.
+    for lap in range(25):
+        pushes = 1 + (lap % capacity)
+        for _ in range(pushes):
+            if ring.try_push(next_value):
+                expected.append(next_value)
+            next_value += 1
+        pops = 1 + ((lap + 1) % capacity)
+        for _ in range(min(pops, len(ring))):
+            assert ring.pop() == expected.pop(0)
+        assert ring.total_pushed - ring.total_popped == len(ring)
+        assert 0 <= len(ring) <= capacity
+    # Whatever is left still drains in insertion order.
+    assert ring.drain() == expected
+    assert ring.total_pushed == ring.total_popped
+    assert ring.total_pushed > 10 * capacity  # really did wrap
+
+
+def test_ringfull_then_drain_recovers_cleanly():
+    """RingFull is not sticky: after a full drain the ring accepts a
+    fresh capacity's worth of items and stays FIFO-consistent."""
+    ring = RingBuffer(3)
+    for i in range(3):
+        ring.push(i)
+    with pytest.raises(RingFull):
+        ring.push(99)
+    assert not ring.try_push(99)
+    # The rejected pushes must not corrupt the occupancy bookkeeping.
+    assert len(ring) == 3 and ring.is_full
+    assert ring.total_pushed == 3
+    assert ring.drain() == [0, 1, 2]
+    assert ring.is_empty and not ring.is_full
+    assert ring.free_slots == 3
+    # Full recovery: another complete fill/overflow/drain cycle.
+    for i in range(10, 13):
+        ring.push(i)
+    with pytest.raises(RingFull):
+        ring.push(999)
+    assert ring.drain() == [10, 11, 12]
+    assert ring.total_pushed == 6
+    assert ring.total_popped == 6
+
+
+def test_interleaved_full_and_empty_transitions():
+    """Drive the ring through repeated full->partial->empty transitions
+    (the RingFull-then-drain pattern the data path hits under bursts)."""
+    ring = RingBuffer(2)
+    history = []
+    for burst in range(6):
+        accepted = 0
+        for i in range(4):  # always overruns capacity
+            if ring.try_push((burst, i)):
+                accepted += 1
+        assert accepted <= 2
+        assert ring.is_full or burst == 0
+        drained = ring.drain()
+        history.extend(drained)
+        assert ring.is_empty
+    # Every accepted item came out exactly once, in order per burst.
+    assert history == sorted(history)

@@ -204,3 +204,74 @@ class TestMergeSnapshot:
     def test_unknown_metric_type_rejected(self):
         with pytest.raises(ValueError):
             MetricsRegistry().merge_snapshot({"x": {"type": "mystery"}})
+
+
+class TestLabels:
+    """Labeled children: per-shard metrics without ad-hoc name mangling."""
+
+    def test_same_labels_return_same_child(self):
+        reads = MetricsRegistry().counter("shard_reads")
+        a = reads.labels(shard="s3")
+        b = reads.labels(shard="s3")
+        assert a is b
+        assert a is not reads
+        assert a.name == 'shard_reads{shard="s3"}'
+
+    def test_label_order_does_not_matter(self):
+        lat = MetricsRegistry().histogram("lat")
+        assert (lat.labels(shard="s1", op="read")
+                is lat.labels(op="read", shard="s1"))
+
+    def test_children_update_independently_of_the_family(self):
+        registry = MetricsRegistry()
+        reads = registry.counter("shard_reads")
+        reads.labels(shard="s0").inc(3)
+        reads.labels(shard="s1").inc(5)
+        reads.inc()
+        assert reads.value == 1
+        assert reads.labels(shard="s0").value == 3
+        assert reads.labels(shard="s1").value == 5
+
+    def test_snapshot_includes_labeled_children(self):
+        registry = MetricsRegistry()
+        registry.counter("shard_reads").labels(shard="s3").inc(7)
+        registry.gauge("inflight").labels(shard="s3").set(2.0)
+        blob = registry.snapshot()
+        assert blob['shard_reads{shard="s3"}'] == {
+            "type": "counter", "value": 7.0, "labels": {"shard": "s3"}}
+        assert blob['inflight{shard="s3"}']["labels"] == {"shard": "s3"}
+
+    def test_snapshot_merge_round_trips_labels(self):
+        source = MetricsRegistry()
+        source.counter("shard_reads").labels(shard="s3").inc(7)
+        source.gauge("inflight").labels(shard="s3").set(2.0)
+        source.histogram("lat").labels(shard="s3").observe(5 * US)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        # The merged registry has real labeled children, not flat names.
+        assert target.counter("shard_reads").labels(shard="s3").value == 7
+        assert target.histogram("lat").labels(shard="s3").count == 1
+        assert target.snapshot() == source.snapshot()
+        # Merging twice adds counters/histograms, as for unlabeled ones.
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("shard_reads").labels(shard="s3").value == 14
+
+    def test_histogram_children_inherit_bounds(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("weights", bounds=(1.0, 8.0, 64.0))
+        child = family.labels(shard="s1")
+        child.observe(8.0)
+        assert child.bounds == (1.0, 8.0, 64.0)
+        target = MetricsRegistry()
+        target.merge_snapshot(registry.snapshot())
+        merged_child = target.histogram(
+            "weights", bounds=(1.0, 8.0, 64.0)).labels(shard="s1")
+        assert merged_child.bounds == (1.0, 8.0, 64.0)
+        assert merged_child.count == 1
+
+    def test_labels_validation(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.labels()
+        with pytest.raises(ValueError):
+            counter.labels(shard="s1").labels(op="read")  # no nesting

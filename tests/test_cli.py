@@ -124,3 +124,31 @@ def test_kernelbench_prints_steps_per_second(capsys):
     out = capsys.readouterr().out
     assert "steps/sec" in out
     assert "best:" in out
+
+
+def test_shard_smoke_passes_and_reports(capsys):
+    assert main(["shard", "--smoke", "--ops", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "shard smoke OK" in out
+    assert "0 lost acks" in out
+    assert "replay bit-identical" in out
+
+
+def test_shard_json_blob_is_deterministic(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "shard.json"
+    assert main(["shard", "--shards", "3", "--ops", "1200", "--seed", "4",
+                 "--out", str(out_path), "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob == json.loads(out_path.read_text())
+    assert blob["schema"] == "repro.shard/v1"
+    assert blob["failed"] == 0
+    assert blob["throughput_ops_s"] > 0
+    assert any(name.startswith("shard.reads{")
+               for name in blob["metrics"])
+
+    assert main(["shard", "--shards", "3", "--ops", "1200", "--seed", "4",
+                 "--json"]) == 0
+    again = json.loads(capsys.readouterr().out)
+    assert again == blob
