@@ -18,6 +18,12 @@ Convenience launcher for a repository checkout:
 * ``python -m repro shard`` -- drive zipfian YCSB traffic across the
   sharded scale-out tier (``repro.shard``) and dump the fleet stats;
   ``--smoke`` runs the quick CI invariants (kill-survival, determinism);
+* ``python -m repro lint`` -- run the determinism AST linter
+  (``repro.analysis``) over source paths; exit 0 clean, 1 findings,
+  2 internal error;
+* ``python -m repro sanitize`` -- run a named workload twice from one
+  seed and bisect the first diverging kernel event (``--smoke`` is the
+  CI replay-determinism gate);
 * ``python -m repro examples`` -- list the example applications.
 """
 
@@ -214,12 +220,12 @@ def cmd_kernelbench(rounds: int, batches: int) -> int:
     best = 0.0
     for index in range(rounds):
         registry = MetricsRegistry()
-        started = perf_counter()
+        started = perf_counter()  # repro-lint: disable=D001 -- wall-clock benchmark harness, result never reaches sim state
         measure_config(config, 16, read_fraction=0.5,
                        batches_per_connection=batches,
                        warmup_batches=max(1, batches // 4),
                        seed=11, metrics=registry)
-        elapsed = perf_counter() - started
+        elapsed = perf_counter() - started  # repro-lint: disable=D001 -- wall-clock benchmark harness
         steps = registry.gauge("kernel.steps").value
         rate = steps / elapsed
         best = max(best, rate)
@@ -452,6 +458,60 @@ def cmd_shard(seed: int, shards: int, ops: int, replication: int,
     return 0
 
 
+def cmd_lint(paths: list[str], fmt: str, rules: str | None) -> int:
+    """Run the determinism AST linter (``repro.analysis``) over paths.
+
+    Defaults to the ``src/repro`` tree.  Exit codes follow the analysis
+    contract: 0 clean, 1 findings, 2 internal error (the latter raised
+    out of here and mapped in :func:`main`).
+    """
+    from repro.analysis import format_findings, lint_paths
+
+    targets = paths or [str(_REPO_ROOT / "src" / "repro")]
+    rule_ids = ([part.strip() for part in rules.split(",") if part.strip()]
+                if rules else None)
+    findings, files = lint_paths(targets, rules=rule_ids)
+    print(format_findings(findings, fmt=fmt, tool="repro-lint"))
+    if fmt == "text":
+        print(f"scanned {len(files)} file(s)")
+    return 1 if findings else 0
+
+
+def cmd_sanitize(workload: str, seed: int, fmt: str, smoke: bool) -> int:
+    """Replay-determinism gate: run a workload twice, diff the traces.
+
+    ``--smoke`` runs the quick CI set (measurement path + chaos
+    scenario); otherwise one named workload.  ``list`` enumerates them.
+    """
+    from repro.analysis import format_findings, sanitize
+    from repro.analysis.sanitize import WORKLOADS
+
+    if workload == "list":
+        print(f"{'workload':>18}  description")
+        for name in sorted(WORKLOADS):
+            doc = (WORKLOADS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:>18}  {doc}")
+        return 0
+    if smoke:
+        names = ["measure", "chaos-spot-churn"]
+    elif workload not in WORKLOADS:
+        print(f"unknown sanitize workload {workload!r}; "
+              f"try `python -m repro sanitize list`")
+        return 2
+    else:
+        names = [workload]
+
+    findings = []
+    for name in names:
+        report = sanitize(WORKLOADS[name], seed=seed, label=name)
+        findings.extend(report.to_findings())
+        if fmt == "text":
+            print(report.describe())
+    if fmt == "json":
+        print(format_findings(findings, fmt="json", tool="repro-sanitize"))
+    return 1 if findings else 0
+
+
 def cmd_examples() -> int:
     if not _EXAMPLES.is_dir():
         print("no examples/ directory found")
@@ -530,6 +590,28 @@ def main(argv: list[str] | None = None) -> int:
                        help="emit the full report as one JSON blob")
     shard.add_argument("--out", default=None,
                        help="also write the JSON report to this file")
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism AST linter (repro.analysis)")
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="fmt")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to enable "
+                           "(default: all, e.g. D001,D003)")
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="replay a workload twice and bisect the first divergence")
+    sanitize.add_argument(
+        "workload", nargs="?", default="measure",
+        help="workload name ('list' to enumerate; default: measure)")
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument("--format", choices=["text", "json"],
+                          default="text", dest="fmt")
+    sanitize.add_argument("--smoke", action="store_true",
+                          help="CI gate: measurement + chaos replay "
+                               "determinism")
     sub.add_parser("examples", help="list example applications")
     args = parser.parse_args(argv)
 
@@ -555,10 +637,20 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_shard(args.seed, args.shards, args.ops,
                              args.replication, args.no_hotkeys,
                              args.smoke, args.as_json, args.out)
+        if args.command == "lint":
+            return cmd_lint(args.paths, args.fmt, args.rules)
+        if args.command == "sanitize":
+            return cmd_sanitize(args.workload, args.seed, args.fmt,
+                                args.smoke)
         return cmd_examples()
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except Exception as exc:  # noqa: BLE001 - analysis exit-code contract
+        if args.command in ("lint", "sanitize"):
+            print(f"internal error: {type(exc).__name__}: {exc}")
+            return 2
+        raise
 
 
 if __name__ == "__main__":

@@ -17,7 +17,6 @@ from repro.core.protocol import (
     ConnectReply,
     ConnectRequest,
     OpResult,
-    RequestBatch,
     ResponseBatch,
 )
 from repro.hardware.profiles import TestbedProfile

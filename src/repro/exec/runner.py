@@ -132,7 +132,7 @@ class SweepRunner:
     def run(self, tasks: Sequence[SweepTask]) -> List[MeasurementResult]:
         """Execute ``tasks``; results are returned in task order."""
         tasks = list(tasks)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: disable=D001 -- wall time of the executor itself; feeds exec.wall_seconds, never sim state
         outcomes: List[Optional[Tuple[MeasurementResult, Dict]]] = (
             [None] * len(tasks))
         keys: List[Optional[str]] = [None] * len(tasks)
@@ -168,7 +168,7 @@ class SweepRunner:
             self.metrics.counter("exec.cache_misses").inc(len(pending))
             self.metrics.gauge("exec.workers").set(self._worker_budget())
             self.metrics.gauge("exec.wall_seconds").set(
-                time.perf_counter() - started)
+                time.perf_counter() - started)  # repro-lint: disable=D001 -- executor wall-clock gauge, excluded from digests
         return [outcome[0] for outcome in outcomes]
 
     def _worker_budget(self) -> int:

@@ -12,6 +12,7 @@ clusters five.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
@@ -71,7 +72,15 @@ class Endpoint:
         self.throttle = 1.0
 
     def register(self, region: MemoryRegion) -> MemoryRegion:
-        """Register a memory region with this NIC."""
+        """Register a memory region with this NIC.
+
+        First registration re-issues the region's id and token key from
+        the fabric's per-run counters, keeping ids bit-identical across
+        same-seed runs in one interpreter (region ids reach routing
+        tables and replay traces, so leaking a module-global counter
+        across runs shows up as schedule divergence).
+        """
+        region.rebind_identity(*self.fabric.issue_region_identity())
         self.regions[region.region_id] = region
         return region
 
@@ -113,6 +122,9 @@ class Fabric:
         #: fault injector raises it for the duration of a transient
         #: latency spike (congestion, PFC storm) and lowers it back.
         self.extra_latency_s = 0.0
+        #: Per-run region-id / token-key sources (see Endpoint.register).
+        self._region_ids = itertools.count(1)
+        self._token_keys = itertools.count(0x1000)
         metrics = registry_of(env)
         if metrics is not None:
             self._bytes_moved = metrics.counter("fabric.bytes")
@@ -124,6 +136,10 @@ class Fabric:
             self._bytes_moved = None
             self._messages = None
             self._tx_busy = None
+
+    def issue_region_identity(self) -> tuple[int, int]:
+        """Next (region_id, token_key) pair for a region registration."""
+        return next(self._region_ids), next(self._token_keys)
 
     def link_utilization(self, endpoint_name: str) -> float:
         """Fraction of simulated time ``endpoint_name``'s tx link spent

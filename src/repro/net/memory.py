@@ -16,6 +16,12 @@ from typing import Optional
 
 __all__ = ["AccessToken", "MemoryRegion", "RdmaAccessError"]
 
+# Fallback id/key sources for regions that are never registered with a
+# fabric endpoint (unit tests poking a region directly).  Registered
+# regions are re-issued fabric-scoped ids at ``Endpoint.register`` time
+# so that same-seed runs in one interpreter produce identical ids --
+# module counters keep ticking between runs, and the leaked ids reach
+# routing tables and process names, which breaks bit-identical replay.
 _REGION_IDS = itertools.count(1)
 _TOKEN_KEYS = itertools.count(0x1000)
 
@@ -52,6 +58,20 @@ class MemoryRegion:
             region_id=self.region_id, key=next(_TOKEN_KEYS), size=size)
         self._revoked = False
         self._mailbox = None
+        self._registered = False
+
+    def rebind_identity(self, region_id: int, key: int) -> None:
+        """Re-issue the region id and token key (fabric registration).
+
+        Called once by :meth:`Endpoint.register` before the token can
+        escape, replacing the module-counter fallback ids with ids drawn
+        from the fabric's own counters so they are deterministic per run.
+        """
+        if self._registered:
+            return
+        self._registered = True
+        self.region_id = region_id
+        self._token = AccessToken(region_id=region_id, key=key, size=self.size)
 
     def attach_mailbox(self, callback) -> None:
         """Observe remote writes carrying a message object.

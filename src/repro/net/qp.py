@@ -45,6 +45,7 @@ class QueuePair:
         self.remote = remote
         self.max_depth = max_depth
         self._in_flight = 0
+        self._wr_seq = 0
         self._backlog: Deque[tuple[WorkRequest, Event]] = deque()
         #: Completions pending in-order delivery, keyed by arrival.
         self._connected = True
@@ -137,6 +138,8 @@ class QueuePair:
         if not self._connected:
             raise QueuePairError("post() on a disconnected queue pair")
         wr.posted_at = self.env.now
+        self._wr_seq += 1
+        wr.wr_id = self._wr_seq
         if self._ops_posted is not None:
             self._ops_posted.inc()
         completion_event = self.env.event()

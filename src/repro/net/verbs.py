@@ -9,15 +9,12 @@ one-sided RDMA writes, since they are faster").
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.memory import AccessToken
 
 __all__ = ["Completion", "RdmaOp", "WorkRequest"]
-
-_WR_IDS = itertools.count(1)
 
 
 class RdmaOp(enum.Enum):
@@ -51,7 +48,12 @@ class WorkRequest:
     #: Simulated timestamp when the request was posted to a queue pair
     #: (stamped by :meth:`QueuePair.post`; drives wire-latency metrics).
     posted_at: float = 0.0
-    wr_id: int = field(default_factory=lambda: next(_WR_IDS))
+    #: Correlation id, stamped per-QP by :meth:`QueuePair.post`.  Scoping
+    #: the counter to the queue pair (not a module global) keeps ids
+    #: identical across same-seed runs in one interpreter -- a module
+    #: counter keeps ticking between runs and leaks into process names,
+    #: which the replay sanitizer flags as schedule divergence.
+    wr_id: int = 0
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

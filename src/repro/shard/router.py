@@ -37,7 +37,7 @@ only on sim time and the access stream.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.client import CacheIoResult, RedyCache
 from repro.core.migration import MigrationPolicy

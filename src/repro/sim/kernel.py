@@ -23,7 +23,28 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "set_default_monitor",
 ]
+
+#: Monitor installed on every Environment created while set (see
+#: :func:`set_default_monitor`).  ``None`` keeps the kernel hook-free.
+_default_monitor: Optional[Any] = None
+
+
+def set_default_monitor(monitor: Optional[Any]) -> Optional[Any]:
+    """Install ``monitor`` on all subsequently-created Environments.
+
+    The replay sanitizer (:mod:`repro.analysis.sanitize`) uses this to
+    observe workloads that build their own Environments internally.
+    Returns the previous default so callers can restore it.  A monitor
+    implements the :class:`repro.analysis.hb.KernelMonitor` protocol;
+    every hook call is guarded by a ``None`` check, so unmonitored runs
+    pay one attribute load per hook site.
+    """
+    global _default_monitor
+    previous = _default_monitor
+    _default_monitor = monitor
+    return previous
 
 
 class SimulationError(Exception):
@@ -59,7 +80,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
-                 "_processed", "on_abandon")
+                 "_processed", "on_abandon", "_hb")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -78,6 +99,9 @@ class Event:
         #: the orphaned waiter out of their queues so items and slots are
         #: not handed to a process that will never consume them.
         self.on_abandon: Optional[Callable[["Event"], None]] = None
+        #: Happens-before stamp (the triggering process's vector clock),
+        #: written by an attached kernel monitor; ``None`` when unmonitored.
+        self._hb: Any = None
 
     @property
     def triggered(self) -> bool:
@@ -109,6 +133,9 @@ class Event:
         env._sequence += 1
         heappush(env._heap, (env._now, priority, env._sequence,
                              _EVENT_DISPATCH, self))
+        monitor = env.monitor
+        if monitor is not None:
+            monitor.on_trigger(self)
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -124,6 +151,9 @@ class Event:
         self._value = exception
         self._triggered = True
         self.env._enqueue(self, delay=0.0, priority=priority)
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.on_trigger(self)
         return self
 
     def _run_callbacks(self) -> None:
@@ -181,6 +211,7 @@ class Timeout(Event):
         self._triggered = True
         self._processed = False
         self.on_abandon = None
+        self._hb = None
         self.delay = delay
         env._sequence += 1
         heappush(env._heap, (env._now + delay, PRIORITY_NORMAL,
@@ -213,6 +244,9 @@ class Process(Event):
         self._send = generator.send
         self._throw = generator.throw
         self._resume_handler = self._resume
+        monitor = env.monitor
+        if monitor is not None:
+            monitor.on_spawn(self)
         # Bootstrap: resume the generator on the next kernel step.
         env._call_soon(Process._bootstrap, self)
 
@@ -233,6 +267,9 @@ class Process(Event):
         if self._triggered:
             return
         self._detach_from_wait()
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.on_interrupt(self)
         self.env._call_soon(self._fire_interrupt, cause,
                             priority=PRIORITY_URGENT)
 
@@ -274,6 +311,9 @@ class Process(Event):
             # from the heap.  The interrupt moved the process on; drop it.
             return
         self._waiting_on = None
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.on_resume(self, event)
         # Inlined send path of _step: _resume is the single hottest
         # callback in the kernel (once per yield of every running
         # process), so the extra frame is worth eliding.  Semantics are
@@ -328,6 +368,9 @@ class Process(Event):
                 raise exc
 
     def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        monitor = self.env.monitor
+        if monitor is not None:
+            monitor.on_step(self)
         try:
             if throw is not None:
                 target = self._throw(throw)
@@ -426,6 +469,11 @@ class Environment:
         #: Metrics registry attach point (see :mod:`repro.obs`); ``None``
         #: means instrumented components skip all bookkeeping.
         self.metrics: Any = None
+        #: Kernel monitor (see :mod:`repro.analysis.hb`): receives
+        #: spawn/resume/trigger/interrupt hooks when set.  Inherits the
+        #: process-wide default so the replay sanitizer can observe
+        #: workloads that construct their own Environments.
+        self.monitor: Any = _default_monitor
         # Event-loop statistics (cheap ints, always on).
         self._steps = 0
         self._events_processed = 0

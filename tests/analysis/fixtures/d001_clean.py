@@ -1,0 +1,5 @@
+"""Lint fixture: sim code reads env.now, never the wall clock."""
+
+
+def stamp(env):
+    return env.now

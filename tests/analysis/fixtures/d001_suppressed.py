@@ -1,0 +1,7 @@
+"""Lint fixture: deliberate wall-clock read with a reasoned suppression."""
+
+import time
+
+
+def bench():
+    return time.perf_counter()  # repro-lint: disable=D001 -- harness wall timing

@@ -1,0 +1,10 @@
+"""Lint fixture: D001 wall-clock reads in sim-driven code (2 findings)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.perf_counter()
+    now = datetime.now()
+    return started, now

@@ -1,0 +1,7 @@
+"""Lint fixture: suppressed global-random draw."""
+
+import random
+
+
+def salt():
+    return random.random()  # repro-lint: disable=D002 -- one-off log salt

@@ -1,0 +1,12 @@
+"""Lint fixture: D002 module-level / unseeded randomness (3 findings)."""
+
+import random
+
+import numpy as np
+
+JITTER = random.random()
+
+
+def draw():
+    rng = np.random.default_rng()
+    return rng.standard_normal() + random.gauss(0.0, 1.0)

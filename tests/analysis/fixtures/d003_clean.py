@@ -1,0 +1,8 @@
+"""Lint fixture: sorted() iteration over sets and dict keys."""
+
+
+def schedule(shards, table):
+    ready = {shard for shard in shards if shard.ready}
+    order = [shard for shard in sorted(ready)]
+    names = sorted(table)
+    return order, names

@@ -1,0 +1,7 @@
+"""Lint fixture: suppressed set iteration (commutative accumulation)."""
+
+
+def drain(pending):
+    removed = pending & {"a", "b"}
+    for item in removed:  # repro-lint: disable=D003 -- discard is commutative
+        pending.discard(item)

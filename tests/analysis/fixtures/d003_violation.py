@@ -1,0 +1,10 @@
+"""Lint fixture: D003 unordered iteration (3 findings)."""
+
+
+def schedule(shards, table):
+    ready = {shard for shard in shards if shard.ready}
+    order = []
+    for shard in ready:
+        order.append(shard)
+    names = [key for key in table.keys()]
+    return order, names, list({1, 2, 3})

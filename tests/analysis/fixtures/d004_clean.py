@@ -1,0 +1,10 @@
+"""Lint fixture: simulated delay in processes, real I/O outside them."""
+
+
+def worker(env):
+    yield env.timeout(0.1)
+
+
+def load_config(path):
+    with open(path) as fh:
+        return fh.read()

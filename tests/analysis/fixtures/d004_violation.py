@@ -1,0 +1,10 @@
+"""Lint fixture: D004 blocking calls in sim code (2 findings)."""
+
+import time
+
+
+def worker(env):
+    time.sleep(0.1)
+    yield env.timeout(1.0)
+    with open("/tmp/log") as fh:
+        fh.read()

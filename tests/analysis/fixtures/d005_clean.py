@@ -1,0 +1,14 @@
+"""Lint fixture: None sentinels and immutable frozen-spec defaults."""
+
+from dataclasses import dataclass
+
+
+def merge(extra, into=None):
+    merged = dict(into or {})
+    merged.update(extra)
+    return merged
+
+
+@dataclass(frozen=True)
+class Spec:
+    tags: tuple = ()

@@ -1,0 +1,6 @@
+"""Lint fixture: suppressed process-lifetime accumulator default."""
+
+
+def register(handler, registry=[]):  # repro-lint: disable=D005 -- accumulator
+    registry.append(handler)
+    return registry

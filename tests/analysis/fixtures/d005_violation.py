@@ -1,0 +1,13 @@
+"""Lint fixture: D005 mutable defaults (2 findings)."""
+
+from dataclasses import dataclass
+
+
+def merge(extra, into={}):
+    into.update(extra)
+    return into
+
+
+@dataclass(frozen=True)
+class Spec:
+    tags: list = []

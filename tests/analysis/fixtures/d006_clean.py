@@ -1,0 +1,13 @@
+"""Lint fixture: canonical JSON digests; plain dumps outside digests."""
+
+import hashlib
+import json
+
+
+def cache_key(payload):
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def render(payload):
+    return json.dumps(payload)

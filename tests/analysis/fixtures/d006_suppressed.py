@@ -1,0 +1,9 @@
+"""Lint fixture: suppressed dumps in a digest function (list payload)."""
+
+import hashlib
+import json
+
+
+def cache_key(payload):
+    blob = json.dumps(payload)  # repro-lint: disable=D006 -- sorted list input
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,12 @@
+"""Lint fixture: D006 digests over unsorted JSON (2 findings)."""
+
+import hashlib
+import json
+
+
+def lookup(payload):
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+
+
+def fingerprint(spec):
+    return json.dumps(spec)

@@ -1,0 +1,90 @@
+"""Per-rule fixture tests for the ``repro-lint`` AST analyzer.
+
+Every rule has three fixture files under ``fixtures/``: a violation
+file the rule must fire on, a corrected file it must stay silent on,
+and a suppressed file where a ``# repro-lint: disable=Dxxx`` comment
+silences a deliberate exception.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_paths, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_IDS = sorted(RULES)
+
+#: Findings each violation fixture is built to produce.
+EXPECTED_VIOLATIONS = {"D001": 2, "D002": 3, "D003": 3,
+                       "D004": 2, "D005": 2, "D006": 2}
+
+
+def findings_for(name, rules=None):
+    findings, files = lint_paths([FIXTURES / name], rules=rules)
+    assert files, f"fixture {name} not found"
+    return findings
+
+
+def test_rule_catalog_matches_fixture_inventory():
+    assert set(EXPECTED_VIOLATIONS) == set(RULE_IDS)
+    for rule in RULE_IDS:
+        meta = RULES[rule]
+        assert meta.hint and meta.rationale and meta.title
+        assert meta.severity in {"error", "warning"}
+
+
+@pytest.mark.parametrize("rule", RULE_IDS)
+def test_violation_fixture_fires(rule):
+    findings = findings_for(f"{rule.lower()}_violation.py")
+    assert {f.rule for f in findings} == {rule}
+    assert len(findings) == EXPECTED_VIOLATIONS[rule]
+    for finding in findings:
+        assert finding.line > 0
+        assert finding.hint  # every rule ships a fix-it hint
+
+
+@pytest.mark.parametrize("rule", RULE_IDS)
+def test_clean_fixture_is_silent(rule):
+    assert findings_for(f"{rule.lower()}_clean.py") == []
+
+
+@pytest.mark.parametrize("rule", RULE_IDS)
+def test_suppression_comment_silences_the_line(rule):
+    assert findings_for(f"{rule.lower()}_suppressed.py") == []
+
+
+def test_rules_filter_restricts_output():
+    assert findings_for("d001_violation.py", rules=["D002"]) == []
+    assert findings_for("d001_violation.py", rules=["D001"])
+
+
+def test_unknown_rule_id_raises():
+    with pytest.raises(ValueError, match="D099"):
+        lint_source("x = 1\n", rules=["D099"])
+
+
+def test_bare_disable_suppresses_all_rules():
+    source = "import time\nt = time.time()  # repro-lint: disable\n"
+    assert lint_source(source) == []
+
+
+def test_import_aliases_are_resolved():
+    source = ("from time import perf_counter as pc\n"
+              "def f():\n"
+              "    return pc()\n")
+    findings = lint_source(source)
+    assert [f.rule for f in findings] == ["D001"]
+
+
+def test_syntax_error_reports_parse_finding():
+    findings = lint_source("def broken(:\n")
+    assert [f.rule for f in findings] == ["PARSE"]
+    assert findings[0].severity == "error"
+
+
+def test_shipped_tree_is_clean():
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings, files = lint_paths([src])
+    assert len(files) > 50
+    assert findings == []

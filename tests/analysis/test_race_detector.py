@@ -1,0 +1,172 @@
+"""Happens-before race detector tests over the real sim kernel."""
+
+from repro.analysis import RaceDetector
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.resources import Resource
+
+
+def test_unsynchronized_read_modify_write_is_flagged():
+    env = Environment()
+    detector = RaceDetector(env)
+    shared = detector.track("counter", {"value": 0})
+
+    def bump(delay):
+        yield env.timeout(delay)
+        value = shared["value"]
+        yield env.timeout(0.5)  # hold the stale read across a yield
+        shared["value"] = value + 1
+
+    env.process(bump(0.0), name="a")
+    env.process(bump(0.1), name="b")
+    env.run()
+
+    assert detector.races
+    race = detector.races[0]
+    assert "write" in {race.first.kind, race.second.kind}
+    assert race.name == "counter" and race.field == "value"
+    # The lost update actually happened: two bumps, one survived.
+    assert shared.read("value")["value"] == 1
+
+
+def test_mutex_synchronized_variant_is_silent():
+    env = Environment()
+    detector = RaceDetector(env)
+    shared = detector.track("counter", {"value": 0})
+    mutex = Resource(env, slots=1)
+
+    def bump(delay):
+        yield env.timeout(delay)
+        yield mutex.acquire()
+        try:
+            value = shared["value"]
+            yield env.timeout(0.5)
+            shared["value"] = value + 1
+        finally:
+            mutex.release()
+
+    env.process(bump(0.0), name="a")
+    env.process(bump(0.1), name="b")
+    env.run()
+
+    assert detector.races == []
+    assert shared.read("value")["value"] == 2
+
+
+def test_join_hand_off_orders_accesses():
+    env = Environment()
+    detector = RaceDetector(env)
+    shared = detector.track("result", {})
+
+    def producer():
+        yield env.timeout(1.0)
+        shared["out"] = 42
+
+    def consumer(task):
+        yield task  # join: consumer resumes after producer finished
+        shared["out"] = shared["out"] + 1
+
+    task = env.process(producer(), name="producer")
+    env.process(consumer(task), name="consumer")
+    env.run()
+
+    assert detector.races == []
+
+
+def test_pre_pr1_style_interrupt_cleanup_race_regression():
+    """Regression shape from the PR-1 kernel hardening: a reclamation
+    interrupt fires while an *independent* janitor also rewrites the
+    victim's status, with no kernel edge between the two writers."""
+    env = Environment()
+    detector = RaceDetector(env)
+    status = detector.track("vm_status", {"vm0": "running"})
+
+    def victim():
+        try:
+            yield env.timeout(10.0)
+            status["vm0"] = "done"
+        except Interrupt:
+            status["vm0"] = "interrupted"
+
+    def reclaimer(target):
+        yield env.timeout(0.5)
+        target.interrupt("spot reclamation")
+
+    def janitor():
+        yield env.timeout(0.5)
+        status["vm0"] = "reclaimed"
+
+    target = env.process(victim(), name="victim")
+    env.process(reclaimer(target), name="reclaimer")
+    env.process(janitor(), name="janitor")
+    env.run()
+
+    assert detector.races
+    writers = {detector.races[0].first.process,
+               detector.races[0].second.process}
+    assert "janitor" in writers
+
+
+def test_interrupt_edge_orders_interrupter_before_handler():
+    # The interrupter writes *before* throwing: the handler's write is
+    # ordered after it through the interrupt edge, so no race.
+    env = Environment()
+    detector = RaceDetector(env)
+    status = detector.track("vm_status", {"vm0": "running"})
+
+    def victim():
+        try:
+            yield env.timeout(10.0)
+            status["vm0"] = "done"
+        except Interrupt:
+            status["vm0"] = "interrupted"
+
+    def reclaimer(target):
+        yield env.timeout(0.5)
+        status["vm0"] = "reclaiming"
+        target.interrupt("spot reclamation")
+
+    target = env.process(victim(), name="victim")
+    env.process(reclaimer(target), name="reclaimer")
+    env.run()
+
+    assert detector.races == []
+
+
+def test_scalar_protocol_and_finding_conversion():
+    env = Environment()
+    detector = RaceDetector(env)
+    flag = detector.track("flag", False)
+
+    def writer(delay):
+        yield env.timeout(delay)
+        flag.write(True)
+
+    env.process(writer(0.0), name="w1")
+    env.process(writer(0.0), name="w2")
+    env.run()
+
+    assert len(detector.races) == 1  # deduplicated by site/kind
+    finding = detector.findings()[0]
+    assert finding.rule == "RACE"
+    assert finding.severity == "error"
+    assert "flag" in finding.message
+    assert finding.detail["first"]["kind"] == "write"
+
+
+def test_monitor_hooks_do_not_change_schedule():
+    def workload(env):
+        order = []
+
+        def worker(tag, delay):
+            yield env.timeout(delay)
+            order.append((tag, env.now))
+
+        env.process(worker("a", 0.2), name="a")
+        env.process(worker("b", 0.1), name="b")
+        env.run()
+        return order
+
+    bare = workload(Environment())
+    monitored_env = Environment()
+    RaceDetector(monitored_env)
+    assert workload(monitored_env) == bare

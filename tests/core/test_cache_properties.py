@@ -5,7 +5,6 @@ reads and writes interleave, span regions, or race with migrations.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cluster import PhysicalServer, VmAllocator
@@ -13,7 +12,7 @@ from repro.core import Slo
 from repro.core.client import RedyClient
 from repro.core.manager import CacheManager
 from repro.hardware import AZURE_HPC
-from repro.net import Fabric, Placement
+from repro.net import Fabric
 from repro.sim import Environment
 from repro.sim.rng import RngRegistry
 

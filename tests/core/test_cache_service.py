@@ -4,7 +4,6 @@ These exercise the full Table 1 API on a small simulated cluster,
 including spot reclamation (migration) and hard VM failure (recovery).
 """
 
-import math
 
 import pytest
 

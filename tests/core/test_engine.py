@@ -1,6 +1,5 @@
 """Integration tests: the executable data path (engine + cache server)."""
 
-import numpy as np
 import pytest
 
 from repro.core import RdmaConfig
@@ -9,7 +8,7 @@ from repro.core.protocol import EngineOp
 from repro.core.server import CacheServer
 from repro.hardware import AZURE_HPC
 from repro.net import Fabric, Placement
-from repro.sim import Environment, US
+from repro.sim import Environment
 from repro.sim.rng import RngRegistry
 
 

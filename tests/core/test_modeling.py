@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core import PerfPoint, RdmaConfig
+from repro.core import RdmaConfig
 from repro.core.latency import DataPathModel
 from repro.core.modeling import (
     OfflineModeler,
-    PerfModel,
     make_analytic_measurer,
     make_engine_measurer,
 )

@@ -9,7 +9,6 @@ import pytest
 
 from repro.cluster.vmtypes import VmType
 from repro.core import Slo
-from repro.sim.clock import US
 from repro.workloads.scenarios import build_cluster
 
 #: A menu with only tiny VMs forces multi-VM caches at small scale.

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import PerfPoint, RdmaConfig, Slo
+from repro.core import RdmaConfig, Slo
 from repro.core.latency import DataPathModel
 from repro.core.modeling import OfflineModeler, make_analytic_measurer
 from repro.core.search import SloSearcher

@@ -8,7 +8,7 @@ and *cost-minimal in server threads* (the paper's pre-order guarantee).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core import RdmaConfig, Slo
+from repro.core import Slo
 from repro.core.latency import DataPathModel
 from repro.core.search import SloSearcher
 from repro.core.space import ConfigSpace

@@ -12,7 +12,6 @@ Light I/O runs against all three throughout; at the end every byte must
 read back correctly and no op may have starved.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster.prediction import SpotLifetimePredictor

@@ -152,3 +152,65 @@ def test_shard_json_blob_is_deterministic(tmp_path, capsys):
                  "--json"]) == 0
     again = json.loads(capsys.readouterr().out)
     assert again == blob
+
+
+BAD_SOURCE = "import time\n\n\ndef probe():\n    return time.time()\n"
+
+
+def test_lint_cli_shipped_tree_is_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "scanned" in out
+
+
+def test_lint_cli_findings_exit_code_and_json(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["schema"] == "repro.analysis/v1"
+    assert blob["summary"]["errors"] == 1
+    assert blob["findings"][0]["rule"] == "D001"
+    assert blob["findings"][0]["hint"]
+
+
+def test_lint_cli_rules_filter(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    assert main(["lint", str(bad), "--rules", "D002"]) == 0
+    assert main(["lint", str(bad), "--rules", "D001,D002"]) == 1
+
+
+def test_lint_cli_unknown_rule_is_internal_error(capsys):
+    assert main(["lint", "--rules", "D099"]) == 2
+    assert "internal error" in capsys.readouterr().out
+
+
+def test_sanitize_cli_lists_workloads(capsys):
+    assert main(["sanitize", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "measure" in out
+    assert "demo-nondet" in out
+
+
+def test_sanitize_cli_unknown_workload_is_an_error(capsys):
+    assert main(["sanitize", "no-such-workload"]) == 2
+    assert "unknown sanitize workload" in capsys.readouterr().out
+
+
+def test_sanitize_cli_demo_nondet_diverges(capsys):
+    import json
+
+    from repro.analysis.sanitize import _DEMO_LEAK
+
+    _DEMO_LEAK["runs"] = 0
+    assert main(["sanitize", "demo-nondet", "--format", "json"]) == 1
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["findings"][0]["rule"] == "DIVERGENCE"
+
+    _DEMO_LEAK["runs"] = 0
+    assert main(["sanitize", "demo-nondet"]) == 1
+    assert "DIVERGED" in capsys.readouterr().out
