@@ -22,7 +22,11 @@ from repro.analysis.hb import RaceDetector, RaceFinding, Tracked
 from repro.analysis.linter import lint_paths, lint_source
 from repro.analysis.report import Finding, format_findings
 from repro.analysis.rules import RULES, Rule
-from repro.analysis.sanitize import DivergenceReport, sanitize
+from repro.analysis.sanitize import (
+    DivergenceReport,
+    sanitize,
+    sanitize_schedulers,
+)
 
 __all__ = [
     "DivergenceReport",
@@ -36,4 +40,5 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "sanitize",
+    "sanitize_schedulers",
 ]

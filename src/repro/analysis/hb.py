@@ -17,7 +17,12 @@ calls when ``Environment.monitor`` is set:
   triggering process's clock on the event, and every process resuming
   from that event joins it.  Joins (``yield other_process``), Store
   put/get hand-offs, and Resource acquire/release hand-offs are all
-  event deliveries, so this one edge covers them;
+  event deliveries, so this one edge covers them.  Timeouts are
+  triggered *at creation* (``env.timeout(d)`` is born succeeded, like
+  SimPy's), so their ``on_trigger`` edge carries the clock of the
+  process that *scheduled* the delay, ordering the waiter after the
+  scheduler -- the kernel stamps this for every timeout, including the
+  ones its combinators (AllOf/AnyOf) and hedge paths create;
 * **interrupt** -- ``Process.interrupt()`` orders the throw after the
   interrupter.
 

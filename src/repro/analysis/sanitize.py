@@ -33,7 +33,8 @@ from repro.analysis.report import Finding
 from repro.sim import kernel
 from repro.sim.rng import RngRegistry
 
-__all__ = ["DivergenceReport", "TraceRecorder", "WORKLOADS", "sanitize"]
+__all__ = ["DivergenceReport", "TraceRecorder", "WORKLOADS", "sanitize",
+           "sanitize_schedulers"]
 
 
 class TraceRecorder(KernelMonitor):
@@ -210,14 +211,27 @@ class DivergenceReport:
             })]
 
 
-def _record(workload: Callable[[int], Any], seed: int) -> TraceRecorder:
+def _record(workload: Callable[[int], Any], seed: int,
+            scheduler: Optional[str] = None) -> TraceRecorder:
+    """Run ``workload(seed)`` once under full instrumentation.
+
+    Every install here is paired with a ``finally`` restore so a raising
+    workload can never leak the recorder (or a scheduler override) into
+    the caller's process-wide state.
+    """
     recorder = TraceRecorder()
-    previous = kernel.set_default_monitor(recorder)
+    previous_scheduler = (kernel.set_default_scheduler(scheduler)
+                          if scheduler is not None else None)
     try:
-        with _instrumented_rng(recorder):
-            workload(seed)
+        previous = kernel.set_default_monitor(recorder)
+        try:
+            with _instrumented_rng(recorder):
+                workload(seed)
+        finally:
+            kernel.set_default_monitor(previous)
     finally:
-        kernel.set_default_monitor(previous)
+        if scheduler is not None:
+            kernel.set_default_scheduler(previous_scheduler)
     return recorder
 
 
@@ -246,17 +260,9 @@ def _first_divergence(a: List[tuple], b: List[tuple]) -> int:
     return lo  # == limit when one trace is a prefix of the other
 
 
-def sanitize(workload: Callable[[int], Any], seed: int = 0,
-             label: str = "workload",
-             context_events: int = 5) -> DivergenceReport:
-    """Run ``workload(seed)`` twice and diff the kernel event traces.
-
-    ``workload`` must be re-entrant: it builds all of its own state
-    (Environments, registries, caches) from the seed argument.  Returns
-    a :class:`DivergenceReport`; ``report.deterministic`` is the gate.
-    """
-    run_a = _record(workload, seed)
-    run_b = _record(workload, seed)
+def _compare(run_a: TraceRecorder, run_b: TraceRecorder, seed: int,
+             label: str, context_events: int) -> DivergenceReport:
+    """Diff two recorded runs into a :class:`DivergenceReport`."""
     trace_a, trace_b = run_a.entries, run_b.entries
     digest_a = hashlib.sha256(
         repr(trace_a).encode()).hexdigest()
@@ -294,6 +300,39 @@ def sanitize(workload: Callable[[int], Any], seed: int = 0,
         events_a=len(trace_a), events_b=len(trace_b),
         divergence_index=index, entry_a=entry_a, entry_b=entry_b,
         context=context, rng_divergence=rng_divergence)
+
+
+def sanitize(workload: Callable[[int], Any], seed: int = 0,
+             label: str = "workload",
+             context_events: int = 5) -> DivergenceReport:
+    """Run ``workload(seed)`` twice and diff the kernel event traces.
+
+    ``workload`` must be re-entrant: it builds all of its own state
+    (Environments, registries, caches) from the seed argument.  Returns
+    a :class:`DivergenceReport`; ``report.deterministic`` is the gate.
+    """
+    run_a = _record(workload, seed)
+    run_b = _record(workload, seed)
+    return _compare(run_a, run_b, seed, label, context_events)
+
+
+def sanitize_schedulers(workload: Callable[[int], Any], seed: int = 0,
+                        label: str = "workload",
+                        context_events: int = 5) -> DivergenceReport:
+    """Run ``workload(seed)`` under both kernel schedulers and diff.
+
+    Run A uses the binary heap, run B the calendar queue.  The contract
+    (DESIGN.md §5h) is that the event-list implementation is never
+    observable in event ordering, so the two traces must be
+    byte-identical -- same schedule, same RNG draw sequence.  A
+    divergence here is a calendar-queue ordering bug, not a workload
+    nondeterminism bug; the report's ``label`` is suffixed so the two
+    failure modes read differently in CI logs.
+    """
+    run_heap = _record(workload, seed, scheduler="heap")
+    run_calendar = _record(workload, seed, scheduler="calendar")
+    return _compare(run_heap, run_calendar, seed,
+                    f"{label}[heap-vs-calendar]", context_events)
 
 
 # ---------------------------------------------------------------------------

@@ -223,13 +223,13 @@ class CacheDataPath:
         if self.config.lock_free:
             cost = cpu.handoff_lockfree
         else:
-            cost = cpu.handoff_locked + cpu.lock_contention_mean * float(
-                np.exp(self.rng.normal(0.0, self._lock_sigma)
-                       - self._lock_sigma**2 / 2))
+            cost = cpu.handoff_locked + cpu.lock_contention_mean * math.exp(
+                self.rng.normal(0.0, self._lock_sigma)
+                - self._lock_sigma**2 / 2)
         if not self.config.numa_affinity:
-            cost += cpu.numa_penalty_mean * float(
-                np.exp(self.rng.normal(0.0, self._jitter_sigma)
-                       - self._jitter_sigma**2 / 2))
+            cost += cpu.numa_penalty_mean * math.exp(
+                self.rng.normal(0.0, self._jitter_sigma)
+                - self._jitter_sigma**2 / 2)
         return cost
 
     def submit(self, op: EngineOp, thread_index: Optional[int] = None) -> Event:
@@ -260,61 +260,80 @@ class CacheDataPath:
 
     def _noise(self) -> float:
         sigma = self.profile.measurement_noise
-        return float(np.exp(self.rng.normal(0.0, sigma))) if sigma else 1.0
+        return math.exp(self.rng.normal(0.0, sigma)) if sigma else 1.0
 
     def _issuer_loop(self, thread: _ClientThread, connection: _Connection):
+        # Hot loop (once per batch): the profile and config are frozen
+        # for the engine's lifetime, so every per-iteration cost below
+        # is hoisted.  `base_work + weight * per_op` preserves the exact
+        # float association of the original expression.
         cpu, nic = self.profile.cpu, self.profile.nic
         config = self.config
+        env = self.env
+        ring_get = connection.batch_ring.get
+        ring_try_get = connection.batch_ring.try_get
+        credits_get = connection.credits.get
+        cpu_acquire = thread.cpu.acquire
+        cpu_release = thread.cpu.release
+        batch_size = config.batch_size
+        base_work = cpu.batch_prepare + nic.doorbell
+        per_op = cpu.client_per_op
+        numa_affinity = config.numa_affinity
+        lock_free = config.lock_free
+        uses_one_sided = config.uses_one_sided
+        batch_weight = self._batch_weight
+        credit_wait = self._credit_wait
+        sigma = self.profile.measurement_noise
         while not connection.closed:
-            first = yield connection.batch_ring.get()
+            first = yield ring_get()
             batch_ops = [first]
             weight = first.weight
-            while weight < config.batch_size:
-                ok, op = connection.batch_ring.try_get()
+            while weight < batch_size:
+                ok, op = ring_try_get()
                 if not ok:
                     break
                 batch_ops.append(op)
                 weight += op.weight
-            if self._batch_weight is not None:
-                self._batch_weight.observe(weight)
-            credit_wait_started = self.env.now
-            yield connection.credits.get()
-            if self._credit_wait is not None:
-                self._credit_wait.observe(self.env.now - credit_wait_started)
+            if batch_weight is not None:
+                batch_weight.observe(weight)
+            credit_wait_started = env.now
+            yield credits_get()
+            if credit_wait is not None:
+                credit_wait.observe(env.now - credit_wait_started)
 
-            yield thread.cpu.acquire()
-            work = (cpu.batch_prepare + nic.doorbell
-                    + weight * cpu.client_per_op)
-            if not config.numa_affinity:
+            yield cpu_acquire()
+            work = base_work + weight * per_op
+            if not numa_affinity:
                 work += weight * cpu.numa_cpu_per_op
-            if not config.lock_free:
+            if not lock_free:
                 # The consumer side of the mutex-protected queue pays the
                 # same lock acquisition + contention as the producer.
                 work += weight * (cpu.handoff_locked
-                                  + cpu.lock_contention_mean * float(
-                                      np.exp(self.rng.normal(
-                                          0.0, self._lock_sigma)
-                                          - self._lock_sigma**2 / 2)))
-            yield self.env.timeout(work * self._noise())
-            thread.cpu.release()
+                                  + cpu.lock_contention_mean * math.exp(
+                                      self.rng.normal(0.0, self._lock_sigma)
+                                      - self._lock_sigma**2 / 2))
+            # Inlined self._noise(): same single RNG draw.
+            noise = math.exp(self.rng.normal(0.0, sigma)) if sigma else 1.0
+            yield env.timeout(work * noise)
+            cpu_release()
 
             one_sided = (len(batch_ops) == 1 and first.weight == 1
-                         and config.uses_one_sided and first.token is not None)
+                         and uses_one_sided and first.token is not None)
             if one_sided:
                 self._post_one_sided(thread, connection, first)
             else:
                 batch = RequestBatch(ops=batch_ops,
                                      connection_id=connection.connection_id,
-                                     created_at=self.env.now)
+                                     created_at=env.now)
                 connection.outstanding[batch.batch_id] = batch
                 wr = WorkRequest(
                     RdmaOp.WRITE, connection.request_ring_token, 0,
                     batch.wire_bytes, payload_object=batch)
                 ack = connection.qp.post(wr)
-                self.env.process(
+                env.process(
                     self._watch_request_ack(connection, batch, ack),
                     name="redy-client:request-ack")
-                self.env.process(
+                env.process(
                     self._watch_response_timeout(connection, batch),
                     name="redy-client:response-timeout")
 
@@ -338,9 +357,9 @@ class CacheDataPath:
         yield self.env.timeout(work * self._noise())
         thread.cpu.release()
         if not self.config.numa_affinity:
-            yield self.env.timeout(cpu.numa_penalty_mean * float(
-                np.exp(self.rng.normal(0.0, self._jitter_sigma)
-                       - self._jitter_sigma**2 / 2)))
+            yield self.env.timeout(cpu.numa_penalty_mean * math.exp(
+                self.rng.normal(0.0, self._jitter_sigma)
+                - self._jitter_sigma**2 / 2))
         connection.credits.try_put(object())
         self._finish(op, OpResult(
             ok=completion.ok, data=completion.data, error=completion.error,
@@ -377,19 +396,30 @@ class CacheDataPath:
         return True
 
     def _completion_loop(self, thread: _ClientThread):
+        # Hot loop (once per response batch); hoisted like _issuer_loop.
         cpu, nic = self.profile.cpu, self.profile.nic
+        env = self.env
+        store_get = thread.response_store.get
+        cpu_acquire = thread.cpu.acquire
+        cpu_release = thread.cpu.release
+        poll = nic.completion_poll
+        per_op = cpu.client_per_op + cpu.callback
+        numa_affinity = self.config.numa_affinity
+        sigma = self.profile.measurement_noise
+        finish = self._finish
         while True:
-            response = yield thread.response_store.get()
-            yield thread.cpu.acquire()
+            response = yield store_get()
+            yield cpu_acquire()
             weight = sum(op.weight for op in response.ops)
-            work = (nic.completion_poll
-                    + weight * (cpu.client_per_op + cpu.callback))
-            yield self.env.timeout(work * self._noise())
-            thread.cpu.release()
-            if not self.config.numa_affinity:
-                yield self.env.timeout(cpu.numa_penalty_mean * float(
-                    np.exp(self.rng.normal(0.0, self._jitter_sigma)
-                           - self._jitter_sigma**2 / 2)))
+            work = poll + weight * per_op
+            # Inlined self._noise(): same single RNG draw.
+            noise = math.exp(self.rng.normal(0.0, sigma)) if sigma else 1.0
+            yield env.timeout(work * noise)
+            cpu_release()
+            if not numa_affinity:
+                yield env.timeout(cpu.numa_penalty_mean * math.exp(
+                    self.rng.normal(0.0, self._jitter_sigma)
+                    - self._jitter_sigma**2 / 2))
             connection = self._connection_by_id(thread,
                                                 response.connection_id)
             if connection is not None:
@@ -397,9 +427,10 @@ class CacheDataPath:
                                               None) is None:
                     continue  # batch already timed out and was failed
                 connection.credits.try_put(object())
+            now = env.now
             for op, result in zip(response.ops, response.results):
-                result.latency = self.env.now - op.enqueued_at
-                self._finish(op, result)
+                result.latency = now - op.enqueued_at
+                finish(op, result)
 
     def _connection_by_id(self, thread: _ClientThread,
                           connection_id: int) -> Optional[_Connection]:

@@ -80,7 +80,8 @@ def measure_config(config: RdmaConfig, record_size: int, *,
                    warmup_batches: int = 30,
                    extra_outstanding: int = 0,
                    seed: int = 0,
-                   metrics: Optional[MetricsRegistry] = None
+                   metrics: Optional[MetricsRegistry] = None,
+                   scheduler: Optional[str] = None
                    ) -> MeasurementResult:
     """Measure one RDMA configuration on the simulated testbed.
 
@@ -92,7 +93,10 @@ def measure_config(config: RdmaConfig, record_size: int, *,
     an average request would see is added back to each sample.
     """
     rngs = RngRegistry(seed=seed)
-    env = Environment()
+    # `scheduler` picks the kernel's event-list implementation (see
+    # repro.sim.kernel); None inherits the process-wide default.  The
+    # choice affects wall-clock speed only, never the measured result.
+    env = Environment(scheduler=scheduler)
     if metrics is not None:
         # Install before the testbed is built so the queue pairs, fabric,
         # and data path instrument themselves (see repro.obs).
@@ -135,18 +139,26 @@ def measure_config(config: RdmaConfig, record_size: int, *,
 
     def generator(thread_index: int, generator_index: int):
         offset_cursor = generator_index
+        # Hot loop (once per simulated op): hoist the bound methods.
+        draw = workload_rng.random
+        overhead = path.submission_overhead
+        timeout = env.timeout
+        new_event = env.event
+        submit = path.submit
+        n_offsets = len(offsets)
+        append_latency = latencies.append
         while not state["stop"]:
-            is_read = workload_rng.random() < read_fraction
+            is_read = draw() < read_fraction
             # The application thread hands each request through the batch
             # ring; a full batch costs `weight` handoffs.
-            handoff = weight * path.submission_overhead()
-            yield env.timeout(handoff)
+            handoff = weight * overhead()
+            yield timeout(handoff)
             op = EngineOp(
                 is_read=is_read, size=record_size, token=token,
-                offset=int(offsets[offset_cursor % len(offsets)]),
-                weight=weight, completion=env.event())
+                offset=int(offsets[offset_cursor % n_offsets]),
+                weight=weight, completion=new_event())
             offset_cursor += 1
-            yield path.submit(op, thread_index=thread_index)
+            yield submit(op, thread_index=thread_index)
             result = yield op.completion
             if not result.ok:
                 raise RuntimeError(f"measurement op failed: {result.error}")
@@ -154,7 +166,7 @@ def measure_config(config: RdmaConfig, record_size: int, *,
             if state["measuring"]:
                 # Half the batch-fill span approximates the wait of the
                 # average request inside this batch.
-                latencies.append(result.latency + handoff / 2.0)
+                append_latency(result.latency + handoff / 2.0)
             _update_phase()
 
     def _update_phase() -> None:

@@ -9,6 +9,7 @@ and write response batches back through the same connection (§4.2,
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List
 
 import numpy as np
@@ -149,26 +150,35 @@ class CacheServer:
         return self._thread_count
 
     def _thread_loop(self, inbox: Store):
+        # Hot loop (once per request batch): profile costs are frozen,
+        # so they and the bound methods are hoisted out of the loop.
         cpu = self.profile.cpu
         noise_sigma = self.profile.measurement_noise
+        poll_cycle = cpu.server_poll_cycle
+        batch_overhead = cpu.server_batch_overhead
+        op_cost = cpu.server_op_cost
+        doorbell = self.profile.nic.doorbell
+        env = self.env
+        rng = self.rng
+        execute = self._execute
+        inbox_get = inbox.get
         while True:
-            connection, batch = yield inbox.get()
+            connection, batch = yield inbox_get()
             if not self.alive:
                 return
             # The poller notices the ring write up to a poll cycle later.
-            yield self.env.timeout(
-                self.rng.uniform(0.0, cpu.server_poll_cycle))
-            work = cpu.server_batch_overhead
+            yield env.timeout(rng.uniform(0.0, poll_cycle))
+            work = batch_overhead
+            thread_count = self._thread_count
             for op in batch.ops:
-                work += op.weight * cpu.server_op_cost(
-                    op.size, self._thread_count)
-            work *= float(np.exp(self.rng.normal(0.0, noise_sigma)))
-            yield self.env.timeout(work)
+                work += op.weight * op_cost(op.size, thread_count)
+            work *= math.exp(rng.normal(0.0, noise_sigma))
+            yield env.timeout(work)
             if not self.alive:
                 # The VM died mid-processing: no response ever leaves.
                 return
 
-            results = [self._execute(op) for op in batch.ops]
+            results = [execute(op) for op in batch.ops]
             self.batches_processed += 1
             self.ops_processed += batch.total_ops
 
@@ -178,7 +188,7 @@ class CacheServer:
             wr = WorkRequest(
                 RdmaOp.WRITE, connection.response_ring_token, 0,
                 batch.response_bytes, payload_object=response)
-            yield self.env.timeout(self.profile.nic.doorbell)
+            yield env.timeout(doorbell)
             connection.response_qp.post(wr)
 
     def _execute(self, op) -> OpResult:

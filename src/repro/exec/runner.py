@@ -46,6 +46,12 @@ class SweepTask:
     warmup_batches: int = 30
     extra_outstanding: int = 0
     seed: int = 0
+    #: Kernel event-list implementation ("calendar"/"heap"); None
+    #: inherits the process-wide default.  Scheduler choice never
+    #: affects measured results (the equivalence suite pins this), so
+    #: it is deliberately *excluded* from the cache key: both
+    #: schedulers hit the same cached blob.
+    scheduler: Optional[str] = None
 
     def cache_key(self) -> str:
         return cache_key(
@@ -95,6 +101,7 @@ def _execute_task(task: SweepTask) -> Tuple[MeasurementResult, Dict]:
         extra_outstanding=task.extra_outstanding,
         seed=task.seed,
         metrics=registry,
+        scheduler=task.scheduler,
     )
     return result, registry.snapshot()
 

@@ -125,6 +125,12 @@ class Fabric:
         #: Per-run region-id / token-key sources (see Endpoint.register).
         self._region_ids = itertools.count(1)
         self._token_keys = itertools.count(0x1000)
+        # Memoized pure-profile costs, keyed by hop count / payload size.
+        # The profile is immutable, so the cached floats are the exact
+        # values the methods return; transmit() runs once per simulated
+        # message and these two lookups replace method calls on it.
+        self._one_way_cache: Dict[int, float] = {}
+        self._wire_time_cache: Dict[int, float] = {}
         metrics = registry_of(env)
         if metrics is not None:
             self._bytes_moved = metrics.counter("fabric.bytes")
@@ -180,19 +186,26 @@ class Fabric:
         switches.  Propagation does not hold the link: back-to-back
         messages pipeline, which is what makes queue depth effective.
         """
-        nic = self.profile.nic
+        env = self.env
         yield src.tx_link.acquire()
         try:
-            wire_time = nic.wire_time(wire_payload_bytes) * src.throttle
-            yield self.env.timeout(wire_time)
+            # Throttle is read only after the link is held: the fault
+            # injector may raise it while a sender queues for the link.
+            wire_time = self._wire_time_cache.get(wire_payload_bytes)
+            if wire_time is None:
+                wire_time = self.profile.nic.wire_time(wire_payload_bytes)
+                self._wire_time_cache[wire_payload_bytes] = wire_time
+            wire_time = wire_time * src.throttle
+            yield env.timeout(wire_time)
             src.tx_busy_seconds += wire_time
-            if self._tx_busy is not None:
-                self._tx_busy.inc(wire_time)
+            tx_busy = self._tx_busy
+            if tx_busy is not None:
+                tx_busy.inc(wire_time)
                 self._bytes_moved.inc(wire_payload_bytes)
                 self._messages.inc()
         finally:
             src.tx_link.release()
-        hops = self.switch_hops(src, dst)
+        hops = src.placement.switch_hops_to(dst.placement)
         if hops > SWITCH_HOPS_INTRA_RACK:
             # Cross-rack traffic squeezes through the rack's shared
             # uplink when the fabric is oversubscribed.
@@ -201,9 +214,12 @@ class Fabric:
                 uplink_gbps = self.profile.fabric.rack_uplink_gbps
                 yield uplink.acquire()
                 try:
-                    yield self.env.timeout(
+                    yield env.timeout(
                         wire_payload_bytes * 8 / (uplink_gbps * 1e9))
                 finally:
                     uplink.release()
-        yield self.env.timeout(self.profile.fabric.one_way_base(hops)
-                               + self.extra_latency_s)
+        base = self._one_way_cache.get(hops)
+        if base is None:
+            base = self.profile.fabric.one_way_base(hops)
+            self._one_way_cache[hops] = base
+        yield env.timeout(base + self.extra_latency_s)

@@ -137,12 +137,13 @@ class QueuePair:
         """
         if not self._connected:
             raise QueuePairError("post() on a disconnected queue pair")
-        wr.posted_at = self.env.now
+        env = self.env
+        wr.posted_at = env.now
         self._wr_seq += 1
         wr.wr_id = self._wr_seq
         if self._ops_posted is not None:
             self._ops_posted.inc()
-        completion_event = self.env.event()
+        completion_event = env.event()
         if self._error_state is not None:
             # Completion-with-error flush: the post is accepted (callers
             # keep their completion-driven control flow) but fails on the
@@ -182,54 +183,57 @@ class QueuePair:
 
     def _execute(self, wr: WorkRequest, completion_event: Event):
         """The verb's life on the wire.  See DESIGN.md §4 for the budget."""
-        nic = self.local.fabric.profile.nic
-        fabric = self.local.fabric
+        local = self.local
+        remote = self.remote
+        fabric = local.fabric
+        nic = fabric.profile.nic
+        env = self.env
 
-        if not self.local.alive:
+        if not local.alive:
             # A dead requester posts nothing: its NIC is gone.
             self._finish(wr, completion_event,
                          self._error_completion(wr, "local endpoint down"))
             return
 
         # NIC work-request processing on the requester.
-        yield self.env.timeout(nic.per_message_processing)
+        yield env.timeout(nic.per_message_processing)
 
         if wr.op is RdmaOp.WRITE:
             # Payload acquisition: inline rides in the WQE; otherwise the
             # NIC fetches it from host memory over PCIe.  This asymmetry
             # is why small writes beat small reads in Figure 11.
             if not nic.can_inline(wr.payload_bytes):
-                yield self.env.timeout(nic.dma_fetch(wr.payload_bytes))
+                yield env.timeout(nic.dma_fetch(wr.payload_bytes))
             request_bytes = wr.payload_bytes
         else:
             request_bytes = CONTROL_MESSAGE_BYTES
 
-        yield from fabric.transmit(self.local, self.remote, request_bytes)
+        yield from fabric.transmit(local, remote, request_bytes)
 
-        if not self.remote.alive:
+        if not remote.alive:
             self._finish(wr, completion_event,
                          self._error_completion(wr, "remote endpoint down"))
             return
 
-        region = self.remote.find_region(wr.token.region_id)
+        region = remote.find_region(wr.token.region_id)
         if region is None:
             self._finish(
                 wr, completion_event,
                 self._error_completion(
-                    wr, f"no region {wr.token.region_id} at {self.remote.name}"))
+                    wr, f"no region {wr.token.region_id} at {remote.name}"))
             return
 
         data: Optional[bytes] = None
         try:
             if wr.op is RdmaOp.WRITE:
-                yield self.env.timeout(nic.rx_dma)
+                yield env.timeout(nic.rx_dma)
                 region.write(wr.token, wr.remote_offset, wr.data,
                              length=wr.payload_bytes)
                 region.deliver(wr.payload_object)
                 response_bytes = CONTROL_MESSAGE_BYTES
             else:
                 # Responder NIC pulls the payload from host memory.
-                yield self.env.timeout(nic.dma_fetch(wr.payload_bytes))
+                yield env.timeout(nic.dma_fetch(wr.payload_bytes))
                 data = region.read(wr.token, wr.remote_offset, wr.payload_bytes)
                 response_bytes = wr.payload_bytes
         except RdmaAccessError as exc:
@@ -237,11 +241,11 @@ class QueuePair:
                          self._error_completion(wr, str(exc)))
             return
 
-        yield from fabric.transmit(self.remote, self.local, response_bytes)
+        yield from fabric.transmit(remote, local, response_bytes)
 
         if wr.op is RdmaOp.READ:
             # Deliver the payload into the requester's memory.
-            yield self.env.timeout(nic.rx_dma)
+            yield env.timeout(nic.rx_dma)
 
         self._finish(
             wr, completion_event,

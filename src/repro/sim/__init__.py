@@ -23,6 +23,7 @@ from repro.sim.kernel import (
     Process,
     SimulationError,
     Timeout,
+    set_default_scheduler,
 )
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RngRegistry
@@ -42,4 +43,5 @@ __all__ = [
     "Store",
     "Timeout",
     "US",
+    "set_default_scheduler",
 ]

@@ -1,10 +1,29 @@
 """The discrete-event simulation kernel.
 
 The kernel follows the classic event-list design: an
-:class:`Environment` owns a binary heap of scheduled events, and
+:class:`Environment` owns a queue of scheduled events, and
 :class:`Process` objects are Python generators that advance by yielding
 events.  When a yielded event fires, the process resumes with the event's
 value (or the event's exception is thrown into it).
+
+Two interchangeable schedulers implement the event list (selected per
+Environment, or process-wide via :func:`set_default_scheduler`):
+
+* ``"calendar"`` (default) -- a calendar/bucket queue tuned for the
+  clustered timestamps the fabric model produces.  Work due *now* lives
+  in plain FIFO deques (O(1) append/pop), the imminent horizon is a
+  small binary heap, and everything beyond it is hashed into
+  fixed-width time buckets that are promoted one at a time.  Bucket
+  width auto-calibrates from the observed timeout delays, and an
+  overflow list catches entries beyond the bucket window.
+* ``"heap"`` -- the original single binary heap, kept as the A/B
+  reference implementation for ``python -m repro kernelbench
+  --scheduler`` and the cross-scheduler replay gate.
+
+Scheduler choice is **not observable** in event ordering: both dispatch
+in exactly the same ``(when, priority, insertion-order)`` total order,
+which the scheduler-equivalence suite and ``repro sanitize`` verify
+trace-for-trace.
 
 The feature set is intentionally small -- timeouts, one-shot events,
 processes, and interrupts -- because that is exactly what the higher
@@ -13,8 +32,15 @@ layers (RDMA fabric, cache engine, cluster allocator) need.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
+
+try:
+    from sys import getrefcount as _refcount
+except ImportError:  # pragma: no cover - non-CPython: disable interning
+    def _refcount(obj: Any) -> int:
+        return -1  # never matches a recycle threshold
 
 __all__ = [
     "Environment",
@@ -24,11 +50,22 @@ __all__ = [
     "SimulationError",
     "Timeout",
     "set_default_monitor",
+    "set_default_scheduler",
 ]
 
 #: Monitor installed on every Environment created while set (see
 #: :func:`set_default_monitor`).  ``None`` keeps the kernel hook-free.
 _default_monitor: Optional[Any] = None
+
+#: Scheduler used by Environments that do not pass one explicitly.
+_default_scheduler: str = "calendar"
+
+#: Width of the far-bucket window: entries more than this many buckets
+#: past the window base land on the overflow list until re-bucketed.
+_CALENDAR_BUCKETS = 8192
+
+#: Per-class cap on the Event/Timeout/Process freelists.
+_FREELIST_MAX = 512
 
 
 def set_default_monitor(monitor: Optional[Any]) -> Optional[Any]:
@@ -44,6 +81,26 @@ def set_default_monitor(monitor: Optional[Any]) -> Optional[Any]:
     global _default_monitor
     previous = _default_monitor
     _default_monitor = monitor
+    return previous
+
+
+def set_default_scheduler(scheduler: Optional[str]) -> str:
+    """Select the event-list implementation for new Environments.
+
+    ``"calendar"`` (the default) or ``"heap"``; ``None`` restores
+    ``"calendar"``.  Returns the previous default so callers can
+    restore it (the kernelbench A/B flag and the cross-scheduler
+    sanitize gate both wrap runs this way).  Existing Environments are
+    unaffected.
+    """
+    global _default_scheduler
+    if scheduler is None:
+        scheduler = "calendar"
+    if scheduler not in ("calendar", "heap"):
+        raise SimulationError(
+            f"unknown scheduler {scheduler!r}; expected 'calendar' or 'heap'")
+    previous = _default_scheduler
+    _default_scheduler = scheduler
     return previous
 
 
@@ -127,12 +184,18 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        # Inlined Environment._enqueue: succeed() fires once per
-        # simulated operation, and the delay is always zero.
+        # Inlined Environment scheduling: succeed() fires once per
+        # simulated operation, and the delay is always zero -- in
+        # calendar mode that is a plain deque append.
         env = self.env
-        env._sequence += 1
-        heappush(env._heap, (env._now, priority, env._sequence,
-                             _EVENT_DISPATCH, self))
+        if env._use_heap:
+            env._sequence += 1
+            heappush(env._heap, (env._now, priority, env._sequence,
+                                 _EVENT_DISPATCH, self))
+        elif priority:
+            env._immediate.append((_EVENT_DISPATCH, self))
+        else:
+            env._urgent.append((_EVENT_DISPATCH, self))
         monitor = env.monitor
         if monitor is not None:
             monitor.on_trigger(self)
@@ -185,7 +248,7 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
-#: The pre-bound handler every event entry carries on the heap; its
+#: The pre-bound handler every event entry carries on the event list; its
 #: identity tells the dispatch loop "this entry is an event" without an
 #: isinstance() per step.
 _EVENT_DISPATCH = Event._run_callbacks
@@ -197,25 +260,68 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        # Fast path: one Timeout per simulated operation.  The delay is
-        # validated here, once -- _enqueue trusts its (kernel-internal)
-        # callers -- and the Event fields are initialized directly in
-        # their final triggered state instead of calling
-        # ``Event.__init__`` and overwriting half of what it set.
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
         self.env = env
-        self.callbacks = None
-        self._value = value
-        self._ok = True
-        self._triggered = True
-        self._processed = False
-        self.on_abandon = None
-        self._hb = None
-        self.delay = delay
+        _arm_timeout(self, env, delay, value)
+
+
+def _arm_timeout(timeout: Timeout, env: "Environment", delay: float,
+                 value: Any) -> None:
+    """(Re)initialize ``timeout`` in its triggered state and schedule it.
+
+    Shared between :class:`Timeout` construction and the freelist reuse
+    path in :meth:`Environment.timeout`.  The delay is validated here,
+    once -- ``_enqueue`` trusts its (kernel-internal) callers -- and the
+    Event fields are written directly in their final triggered state
+    instead of calling ``Event.__init__`` and overwriting half of what
+    it set.  Timeouts *are* triggers (they are born with their value),
+    so an attached monitor receives ``on_trigger`` here exactly as it
+    does from ``succeed()``/``fail()`` -- this is what gives the
+    RaceDetector its trigger->resume happens-before edge on every
+    timeout-driven resume.
+    """
+    if delay < 0:
+        raise SimulationError(f"negative timeout delay: {delay}")
+    timeout.callbacks = None
+    timeout._value = value
+    timeout._ok = True
+    timeout._triggered = True
+    timeout._processed = False
+    timeout.on_abandon = None
+    timeout._hb = None
+    timeout.delay = delay
+    if env._use_heap:
         env._sequence += 1
         heappush(env._heap, (env._now + delay, PRIORITY_NORMAL,
-                             env._sequence, _EVENT_DISPATCH, self))
+                             env._sequence, _EVENT_DISPATCH, timeout))
+    else:
+        now = env._now
+        when = now + delay
+        if when == now:
+            # Zero delay (or one too small to move the float clock):
+            # due at the current instant, FIFO behind earlier arrivals.
+            env._immediate.append((_EVENT_DISPATCH, timeout))
+        else:
+            env._sequence += 1
+            entry = (when, PRIORITY_NORMAL, env._sequence,
+                     _EVENT_DISPATCH, timeout)
+            if when < env._horizon:
+                heappush(env._near, entry)
+            else:
+                env._far_insert(entry)
+            # Track the running mean delay; it sets (and, via the decay,
+            # tracks drift in) the calendar bucket width.
+            count = env._delay_count + 1
+            env._delay_count = count
+            env._delay_sum += delay
+            if env._width == 0.0:
+                if count >= 128:
+                    env._calibrate()
+            elif count >= 8192:
+                env._delay_sum *= 0.5
+                env._delay_count = 4096
+    monitor = env.monitor
+    if monitor is not None:
+        monitor.on_trigger(timeout)
 
 
 class Process(Event):
@@ -303,12 +409,12 @@ class Process(Event):
             self._step(send=None)
 
     def _resume(self, event: Event) -> None:
-        if self._triggered:
-            return
         if self._waiting_on is not event:
             # Stale delivery: waiting on an already-processed event is
             # delivered via _call_soon, which an interrupt cannot unhook
-            # from the heap.  The interrupt moved the process on; drop it.
+            # from the event list -- or the process finished/was
+            # interrupted (then _waiting_on is None).  Either way the
+            # event did not resume this process; drop it.
             return
         self._waiting_on = None
         monitor = self.env.monitor
@@ -402,7 +508,72 @@ class Process(Event):
         return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
 
 
-class AllOf(Event):
+class _Combinator(Event):
+    """Shared machinery for :class:`AllOf`/:class:`AnyOf`.
+
+    Both watch a set of child events through per-child callbacks.  Once
+    the combinator's outcome is decided (or its own waiter walks away),
+    the callbacks registered on still-undecided children are *detached*
+    and each such child gets :meth:`Event._notify_abandoned` -- exactly
+    what :meth:`Process._detach_from_wait` does for a plain wait.
+    Without the detach, hedged-read loops that race fresh timeouts
+    against one long-lived event grow that event's callback list without
+    bound, and resource slots granted to losing children leak.
+    """
+
+    __slots__ = ("_children", "_child_cbs")
+
+    def _watch(self, events: list) -> None:
+        self._children = events
+        cbs = []
+        append = cbs.append
+        for i, event in enumerate(events):
+            cb = (lambda ev, i=i: self._child_done(ev, i))
+            append(cb)
+            event._add_callback(cb)
+        self._child_cbs = cbs
+
+    def _child_done(self, event: Event, index: int) -> None:
+        raise NotImplementedError
+
+    def _detach_children(self, skip: int) -> None:
+        """Unhook from every child except ``skip``; abandon orphaned waits.
+
+        A child whose callbacks were already consumed (it processed) is
+        left alone -- its late ``_child_done`` delivery is dropped by the
+        ``_triggered`` guard.  A child that is pending, or triggered but
+        not yet processed (it fired in the same instant the combinator
+        was decided), still carries our callback: remove it and tell the
+        child's producer, so a Store item or Resource slot handed to the
+        losing wait is reclaimed instead of leaking.
+        """
+        children, self._children = self._children, None
+        if not children:
+            self._child_cbs = None
+            return
+        cbs, self._child_cbs = self._child_cbs, None
+        for i, child in enumerate(children):
+            if i == skip:
+                continue
+            callbacks = child.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(cbs[i])
+                except ValueError:
+                    continue
+                child._notify_abandoned()
+
+    def _notify_abandoned(self) -> None:
+        # The combinator's own waiter walked away (it was interrupted):
+        # propagate the abandonment to every remaining child before
+        # running our own hook.
+        self._detach_children(-1)
+        hook, self.on_abandon = self.on_abandon, None
+        if hook is not None:
+            hook(self)
+
+
+class AllOf(_Combinator):
     """Fires when every child event has fired; fails fast on first failure."""
 
     __slots__ = ("_pending", "_values")
@@ -410,27 +581,32 @@ class AllOf(Event):
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         events = list(events)
+        self._children = None
+        self._child_cbs = None
         self._pending = len(events)
         self._values: list[Any] = [None] * len(events)
         if not events:
             self.succeed([])
             return
-        for i, event in enumerate(events):
-            event._add_callback(lambda ev, i=i: self._child_done(ev, i))
+        self._watch(events)
 
     def _child_done(self, event: Event, index: int) -> None:
         if self._triggered:
             return
-        if not event.ok:
-            self.fail(event.value)
+        if not event._ok:
+            self.fail(event._value)
+            self._detach_children(index)
             return
-        self._values[index] = event.value
+        self._values[index] = event._value
         self._pending -= 1
         if self._pending == 0:
+            # Every child fired: nothing left to detach, just drop refs.
+            self._children = None
+            self._child_cbs = None
             self.succeed(list(self._values))
 
 
-class AnyOf(Event):
+class AnyOf(_Combinator):
     """Fires with (index, value) of the first child event to fire."""
 
     __slots__ = ()
@@ -438,26 +614,64 @@ class AnyOf(Event):
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         events = list(events)
+        self._children = None
+        self._child_cbs = None
         if not events:
             raise SimulationError("AnyOf requires at least one event")
-        for i, event in enumerate(events):
-            event._add_callback(lambda ev, i=i: self._child_done(ev, i))
+        self._watch(events)
 
     def _child_done(self, event: Event, index: int) -> None:
         if self._triggered:
             return
-        if event.ok:
-            self.succeed((index, event.value))
+        if event._ok:
+            self.succeed((index, event._value))
         else:
-            self.fail(event.value)
+            self.fail(event._value)
+        self._detach_children(index)
 
 
 class Environment:
     """Owns simulated time and the event list."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 scheduler: Optional[str] = None):
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Any]] = []
+        if scheduler is None:
+            scheduler = _default_scheduler
+        if scheduler not in ("calendar", "heap"):
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; "
+                f"expected 'calendar' or 'heap'")
+        #: Which event-list implementation this Environment runs on
+        #: (``"calendar"`` or ``"heap"``); fixed at construction.
+        self.scheduler = scheduler
+        self._use_heap = scheduler == "heap"
+        # -- heap scheduler state --
+        self._heap: list[tuple] = []
+        # -- calendar scheduler state --
+        # Work due at the current instant: plain FIFO deques (appends
+        # at `now` happen in sequence order, so FIFO *is* seq order).
+        self._urgent: deque = deque()     # PRIORITY_URGENT at `now`
+        self._immediate: deque = deque()  # PRIORITY_NORMAL at `now`
+        # The imminent window [now, horizon): a small binary heap.
+        self._near: list[tuple] = []
+        # Beyond the horizon: fixed-width buckets keyed by
+        # int(when / width); `_far_keys` is a min-heap over the live
+        # bucket keys (each key pushed exactly once, at bucket creation).
+        self._far: dict[int, list[tuple]] = {}
+        self._far_keys: list[int] = []
+        # Entries past the bucket window wait here until a re-bucket.
+        self._overflow: list[tuple] = []
+        self._width = 0.0          # 0.0 = not yet calibrated
+        self._inv_width = 0.0
+        self._horizon = float("inf")
+        self._limit_key = 0
+        self._delay_sum = 0.0
+        self._delay_count = 0
+        # -- interned-struct freelists (fed by the calendar run loop) --
+        self._event_free: list[Event] = []
+        self._timeout_free: list[Timeout] = []
+        self._process_free: list[Process] = []
         self._sequence = 0
         #: Called as ``hook(process, exc)`` when a process raises with no
         #: joiner registered to receive the failure.  When set, the hook
@@ -494,19 +708,119 @@ class Environment:
             "immediate_calls": self._immediate_calls,
             "process_failures": self._process_failures,
             "interrupts_thrown": self._interrupts_thrown,
-            "pending": len(self._heap),
+            "pending": self._pending_count(),
         }
+
+    def _pending_count(self) -> int:
+        if self._use_heap:
+            return len(self._heap)
+        return (len(self._urgent) + len(self._immediate) + len(self._near)
+                + sum(map(len, self._far.values())) + len(self._overflow))
+
+    def _has_pending(self) -> bool:
+        if self._use_heap:
+            return bool(self._heap)
+        return bool(self._urgent or self._immediate or self._near
+                    or self._far or self._overflow)
 
     # -- factories ---------------------------------------------------------
 
     def event(self) -> Event:
+        free = self._event_free
+        if free:
+            # Freelist reuse: the run loop only recycles an event once
+            # its callbacks have run and nothing else references it, so
+            # re-initializing the slots here is indistinguishable from a
+            # fresh allocation (identity is never used for ordering).
+            event = free.pop()
+            event.callbacks = None
+            event._value = None
+            event._ok = None
+            event._triggered = False
+            event._processed = False
+            event.on_abandon = None
+            event._hb = None
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Inlined _arm_timeout: this factory runs once per simulated
+        # fabric/CPU hop -- the hottest allocation site in a measurement
+        # run -- so the freelist pop, slot re-init, and scheduling all
+        # happen in-frame.  Semantics are identical to Timeout(); the
+        # kernel tests and the scheduler-equivalence suite pin both
+        # entry points.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        free = self._timeout_free
+        if free:
+            timeout = free.pop()
+        else:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+        timeout.callbacks = None
+        timeout._value = value
+        timeout._ok = True
+        timeout._triggered = True
+        timeout._processed = False
+        timeout.on_abandon = None
+        timeout._hb = None
+        timeout.delay = delay
+        if self._use_heap:
+            self._sequence += 1
+            heappush(self._heap, (self._now + delay, PRIORITY_NORMAL,
+                                  self._sequence, _EVENT_DISPATCH, timeout))
+        else:
+            now = self._now
+            when = now + delay
+            if when == now:
+                self._immediate.append((_EVENT_DISPATCH, timeout))
+            else:
+                seq = self._sequence + 1
+                self._sequence = seq
+                entry = (when, PRIORITY_NORMAL, seq, _EVENT_DISPATCH,
+                         timeout)
+                if when < self._horizon:
+                    heappush(self._near, entry)
+                else:
+                    self._far_insert(entry)
+                count = self._delay_count + 1
+                self._delay_count = count
+                self._delay_sum += delay
+                if self._width == 0.0:
+                    if count >= 128:
+                        self._calibrate()
+                elif count >= 8192:
+                    self._delay_sum *= 0.5
+                    self._delay_count = 4096
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_trigger(timeout)
+        return timeout
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
+        free = self._process_free
+        if free and hasattr(generator, "send"):
+            proc = free.pop()
+            proc.callbacks = None
+            proc._value = None
+            proc._ok = None
+            proc._triggered = False
+            proc._processed = False
+            proc.on_abandon = None
+            proc._hb = None
+            proc._generator = generator
+            proc._waiting_on = None
+            proc.name = name or getattr(generator, "__name__", "process")
+            proc._send = generator.send
+            proc._throw = generator.throw
+            # proc._resume_handler is still this object's bound _resume.
+            monitor = self.monitor
+            if monitor is not None:
+                monitor.on_spawn(proc)
+            self._call_soon(Process._bootstrap, proc)
+            return proc
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -517,7 +831,7 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     #
-    # Heap entries are ``(when, priority, sequence, fn, arg)``: the
+    # Timed entries are ``(when, priority, sequence, fn, arg)``: the
     # handler is pre-bound at scheduling time so the dispatch loop calls
     # ``fn(arg)`` without type inspection.  ``sequence`` is unique, so
     # comparisons never reach the trailing elements.  Events carry
@@ -527,28 +841,155 @@ class Environment:
     # single-argument convention is what lets waiter delivery and process
     # bootstrap schedule plain bound/class methods instead of allocating
     # a closure per call.
+    #
+    # In calendar mode, entries due at the current instant skip the
+    # sequence counter entirely and land on the FIFO deques: nothing
+    # already queued for `now` can carry a larger timestamp, a lower
+    # priority value lives on its own deque, and FIFO order *is*
+    # insertion order -- so the (when, priority, sequence) total order
+    # is preserved without a single comparison.  Only future entries
+    # pay for a sequence number and a near-heap push or far-bucket
+    # append.  The scheduler-equivalence suite pins this ordering
+    # against the reference heap.
 
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         # Delay is validated by the callers that can produce a negative
-        # one (Timeout.__init__); succeed()/fail() always pass 0.0.
+        # one (_arm_timeout); succeed()/fail() always pass 0.0.
+        if self._use_heap:
+            self._sequence += 1
+            heappush(self._heap, (self._now + delay, priority,
+                                  self._sequence, _EVENT_DISPATCH, event))
+            return
+        when = self._now + delay
+        if when == self._now:
+            if priority:
+                self._immediate.append((_EVENT_DISPATCH, event))
+            else:
+                self._urgent.append((_EVENT_DISPATCH, event))
+            return
         self._sequence += 1
-        heappush(self._heap, (self._now + delay, priority, self._sequence,
-                              _EVENT_DISPATCH, event))
+        entry = (when, priority, self._sequence, _EVENT_DISPATCH, event)
+        if when < self._horizon:
+            heappush(self._near, entry)
+        else:
+            self._far_insert(entry)
 
     def _call_soon(self, fn: Callable[[Any], None], arg: Any,
                    priority: int = PRIORITY_NORMAL) -> None:
-        self._sequence += 1
-        heappush(self._heap,
-                 (self._now, priority, self._sequence, fn, arg))
+        if self._use_heap:
+            self._sequence += 1
+            heappush(self._heap,
+                     (self._now, priority, self._sequence, fn, arg))
+        elif priority:
+            self._immediate.append((fn, arg))
+        else:
+            self._urgent.append((fn, arg))
+
+    # -- calendar-queue internals ------------------------------------------
+
+    def _far_insert(self, entry: tuple) -> None:
+        key = int(entry[0] * self._inv_width)
+        if key >= self._limit_key:
+            self._overflow.append(entry)
+            return
+        bucket = self._far.get(key)
+        if bucket is None:
+            self._far[key] = [entry]
+            heappush(self._far_keys, key)
+        else:
+            bucket.append(entry)
+
+    def _calibrate(self) -> None:
+        """First-time bucket sizing from the observed mean delay.
+
+        Runs once, after enough timeout delays have been sampled.  The
+        far buckets are empty by construction here (the horizon was
+        infinite), so only the near heap needs care: the horizon is
+        placed past its maximum entry, keeping the invariant that near
+        entries sort strictly below everything bucketed.
+        """
+        width = self._delay_sum / self._delay_count
+        if width < 1e-12:
+            width = 1e-12
+        self._width = width
+        inv = 1.0 / width
+        self._inv_width = inv
+        top = self._now
+        near = self._near
+        if near:
+            top_near = max(entry[0] for entry in near)
+            if top_near > top:
+                top = top_near
+        base = int(top * inv) + 1
+        self._horizon = base * width
+        self._limit_key = base + _CALENDAR_BUCKETS
+
+    def _promote(self) -> bool:
+        """Refill the (empty) near heap from the calendar.
+
+        Pops the earliest far bucket into the near heap and advances the
+        horizon to that bucket's end; every remaining bucketed entry is
+        at or past the new horizon, so near stays the authoritative
+        front of the timeline.  When the buckets are exhausted too, the
+        overflow list is re-bucketed around its earliest entry (also
+        refreshing the width from the delay statistics, which is safe
+        exactly then: there are no bucketed entries left to remap).
+        Returns False when there is no timed work left at all.
+        """
+        while True:
+            keys = self._far_keys
+            if keys:
+                key = heappop(keys)
+                bucket = self._far.pop(key)
+                near = self._near
+                near.extend(bucket)
+                if len(near) > 1:
+                    heapify(near)
+                self._horizon = (key + 1.0) * self._width
+                return True
+            if not self._overflow:
+                return False
+            self._rebucket()
+
+    def _rebucket(self) -> None:
+        entries = self._overflow
+        self._overflow = []
+        if self._delay_count:
+            width = self._delay_sum / self._delay_count
+        else:  # pragma: no cover - overflow implies sampled delays
+            width = self._width
+        if width < 1e-12:
+            width = 1e-12
+        self._width = width
+        inv = 1.0 / width
+        self._inv_width = inv
+        base = int(min(entry[0] for entry in entries) * inv)
+        self._horizon = base * width
+        self._limit_key = base + _CALENDAR_BUCKETS
+        insert = self._far_insert
+        for entry in entries:
+            insert(entry)
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> None:
         """Process the next entry on the event list."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event list")
-        when, _priority, _seq, fn, arg = heappop(self._heap)
-        self._now = when
+        if self._use_heap:
+            if not self._heap:
+                raise SimulationError("step() on an empty event list")
+            when, _priority, _seq, fn, arg = heappop(self._heap)
+            self._now = when
+        elif self._urgent:
+            fn, arg = self._urgent.popleft()
+        elif self._near and self._near[0][0] <= self._now:
+            _when, _priority, _seq, fn, arg = heappop(self._near)
+        elif self._immediate:
+            fn, arg = self._immediate.popleft()
+        else:
+            if not self._near and not self._promote():
+                raise SimulationError("step() on an empty event list")
+            self._now = self._near[0][0]
+            _when, _priority, _seq, fn, arg = heappop(self._near)
         self._steps += 1
         if fn is _EVENT_DISPATCH:
             self._events_processed += 1
@@ -562,21 +1003,64 @@ class Environment:
         ``until`` is an absolute timestamp; when reached, ``now`` is set to
         exactly ``until`` so callers can resume cleanly.
 
-        The dispatch loop inlines :meth:`step` (same semantics, verified
-        by the kernel tests): this is 75% of a measurement run, and the
-        per-entry method call, bound-counter updates, and re-checked
-        ``until`` guard are measurable at tens of thousands of steps per
-        simulated second.  Loop statistics accumulate in locals and are
-        flushed even when a handler raises.
+        The dispatch loops inline :meth:`step` (same semantics, verified
+        by the kernel tests and the scheduler-equivalence suite): this
+        is 75% of a measurement run, and the per-entry method call,
+        bound-counter updates, and re-checked ``until`` guard are
+        measurable at tens of thousands of steps per simulated second.
+        Loop statistics accumulate in locals and are flushed even when a
+        handler raises.
         """
-        heap = self._heap
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        if self._use_heap:
+            self._run_heap(until)
+        else:
+            self._run_calendar(until)
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        urgent = self._urgent
+        immediate = self._immediate
+        near = self._near  # alias stays valid: _promote mutates in place
         dispatch = _EVENT_DISPATCH
+        event_free = self._event_free
+        timeout_free = self._timeout_free
+        process_free = self._process_free
+        pop_urgent = urgent.popleft
+        pop_immediate = immediate.popleft
+        # Hot-loop locals for what would otherwise be per-event global
+        # (class/function) or builtin lookups.
+        pop_heap = heappop
+        freelist_max = _FREELIST_MAX
+        refcount = _refcount
+        timeout_cls = Timeout
+        event_cls = Event
+        process_cls = Process
+        now = self._now
         steps = events = 0
         try:
-            if until is None:
-                while heap:
-                    when, _priority, _seq, fn, arg = heappop(heap)
-                    self._now = when
+            while True:
+                # Drain everything due at the current instant.  Order:
+                # urgent deque first (urgent entries only ever arise at
+                # the current instant, and priority outranks sequence),
+                # then near-heap entries that have come due (scheduled
+                # for this instant *before* the clock reached it, so
+                # their sequence numbers are smaller than anything a
+                # callback appends to the deques now), then the normal
+                # deque.  Same-timestamp events batch through here
+                # without touching a heap.
+                #
+                # Phase A: near entries that have come due, with urgent
+                # preemption.  Once the near heap holds nothing <= now
+                # it cannot regain it this instant -- entries scheduled
+                # *at* `now` go to the deques, never to near -- so
+                # phase B drains the deques without re-checking it.
+                while near and near[0][0] <= now:
+                    if urgent:
+                        fn, arg = pop_urgent()
+                    else:
+                        _when, _priority, _seq, fn, arg = pop_heap(near)
                     steps += 1
                     if fn is dispatch:
                         # Inlined Event._run_callbacks (the overwhelmingly
@@ -588,12 +1072,101 @@ class Environment:
                             arg.callbacks = None
                             for callback in callbacks:
                                 callback(arg)
+                        # Intern the spent struct for reuse -- but only
+                        # when provably unreferenced: `arg` plus
+                        # getrefcount's own parameter is 2 (a Process
+                        # also self-references via its pre-bound resume
+                        # handler slot).  Identity reuse is invisible to
+                        # ordering (entries never compare by object), so
+                        # recycling cannot perturb the schedule.
+                        cls = arg.__class__
+                        if cls is timeout_cls:
+                            if (refcount(arg) == 2
+                                    and len(timeout_free) < freelist_max):
+                                timeout_free.append(arg)
+                        elif cls is event_cls:
+                            if (refcount(arg) == 2
+                                    and len(event_free) < freelist_max):
+                                event_free.append(arg)
+                        elif cls is process_cls:
+                            if (refcount(arg) == 3
+                                    and len(process_free) < freelist_max):
+                                process_free.append(arg)
+                    else:
+                        fn(arg)
+                # Phase B: deque-only drain (dispatch block duplicated
+                # from phase A -- the two-deque check is the whole point
+                # of the split, so no shared helper frame).
+                while True:
+                    if urgent:
+                        fn, arg = pop_urgent()
+                    elif immediate:
+                        fn, arg = pop_immediate()
+                    else:
+                        break
+                    steps += 1
+                    if fn is dispatch:
+                        events += 1
+                        arg._processed = True
+                        callbacks = arg.callbacks
+                        if callbacks is not None:
+                            arg.callbacks = None
+                            for callback in callbacks:
+                                callback(arg)
+                        cls = arg.__class__
+                        if cls is timeout_cls:
+                            if (refcount(arg) == 2
+                                    and len(timeout_free) < freelist_max):
+                                timeout_free.append(arg)
+                        elif cls is event_cls:
+                            if (refcount(arg) == 2
+                                    and len(event_free) < freelist_max):
+                                event_free.append(arg)
+                        elif cls is process_cls:
+                            if (refcount(arg) == 3
+                                    and len(process_free) < freelist_max):
+                                process_free.append(arg)
+                    else:
+                        fn(arg)
+                # Advance simulated time to the next scheduled entry.
+                if not near and not self._promote():
+                    if until is not None:
+                        self._now = until
+                    return
+                when = near[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                now = when
+                self._now = when
+        finally:
+            self._steps += steps
+            self._events_processed += events
+            self._immediate_calls += steps - events
+
+    def _run_heap(self, until: Optional[float]) -> None:
+        # The original single-heap dispatch loop, kept verbatim as the
+        # A/B reference scheduler.
+        heap = self._heap
+        dispatch = _EVENT_DISPATCH
+        steps = events = 0
+        try:
+            if until is None:
+                while heap:
+                    when, _priority, _seq, fn, arg = heappop(heap)
+                    self._now = when
+                    steps += 1
+                    if fn is dispatch:
+                        events += 1
+                        arg._processed = True
+                        callbacks = arg.callbacks
+                        if callbacks is not None:
+                            arg.callbacks = None
+                            for callback in callbacks:
+                                callback(arg)
                     else:
                         fn(arg)
                 return
-            if until < self._now:
-                raise SimulationError(
-                    f"run(until={until}) is in the past (now={self._now})")
             while heap and heap[0][0] <= until:
                 when, _priority, _seq, fn, arg = heappop(heap)
                 self._now = when
@@ -621,7 +1194,7 @@ class Environment:
         # Keep a callback registered so failures are captured, not raised
         # from the middle of the event loop.
         proc._add_callback(lambda ev: None)
-        while self._heap and not proc.processed:
+        while not proc.processed and self._has_pending():
             self.step()
         if not proc.triggered:
             raise SimulationError(

@@ -1,7 +1,9 @@
 """Replay-divergence sanitizer tests: bisection and RNG attribution."""
 
-from repro.analysis import sanitize
-from repro.analysis.sanitize import WORKLOADS, _DEMO_LEAK
+import pytest
+
+from repro.analysis import sanitize, sanitize_schedulers
+from repro.analysis.sanitize import WORKLOADS, _DEMO_LEAK, _record
 from repro.sim import kernel
 from repro.sim.kernel import Environment
 from repro.sim.rng import RngRegistry
@@ -72,9 +74,11 @@ def test_deterministic_workload_is_clean():
 def test_schedule_divergence_is_bisected_to_the_exact_event():
     report = sanitize(make_schedule_leaky(), seed=0, label="leaky")
     assert not report.deterministic
-    # Trace: spawn, bootstrap step, resume@1.0 agree; the second resume
-    # (index 3) is the first divergent event.
-    assert report.divergence_index == 3
+    # Trace: spawn, bootstrap step, timeout trigger@0, resume@1.0, and
+    # the second timeout's trigger@1.0 agree (trigger entries record
+    # type+now, not the delay); the second resume (index 5) is the
+    # first divergent event.
+    assert report.divergence_index == 5
     assert report.entry_a[0] == report.entry_b[0] == "resume"
     assert report.entry_a[-1] == 3.0
     assert report.entry_b[-1] == 4.0
@@ -111,6 +115,52 @@ def test_default_monitor_is_restored_after_sanitize():
     sanitize(_deterministic_workload, seed=1)
     # set_default_monitor returns the previous monitor: must be None.
     assert kernel.set_default_monitor(None) is None
+
+
+def _raising_workload(seed):
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        raise RuntimeError("workload blew up")
+
+    env.process(worker(), name="w")
+    env.run()
+
+
+def test_monitor_restored_when_workload_raises():
+    # Exception safety: a raising workload must not leak the recorder
+    # (or an RNG wrapper, or a scheduler override) into process state.
+    with pytest.raises(RuntimeError, match="workload blew up"):
+        _record(_raising_workload, seed=0)
+    assert kernel.set_default_monitor(None) is None
+    assert RngRegistry.stream.__qualname__ == "RngRegistry.stream"
+
+
+def test_scheduler_restored_when_workload_raises():
+    before = kernel.set_default_scheduler(None)  # pin a known default
+    try:
+        with pytest.raises(RuntimeError):
+            _record(_raising_workload, seed=0, scheduler="heap")
+        assert kernel.set_default_scheduler(None) == "calendar"
+        assert kernel.set_default_monitor(None) is None
+    finally:
+        kernel.set_default_scheduler(before)
+
+
+def test_cross_scheduler_gate_on_clean_workload():
+    report = sanitize_schedulers(_deterministic_workload, seed=3,
+                                 label="det")
+    assert report.deterministic
+    assert report.label == "det[heap-vs-calendar]"
+    assert report.events_a == report.events_b > 0
+
+
+def test_cross_scheduler_gate_on_measurement_path():
+    report = sanitize_schedulers(WORKLOADS["measure"], seed=0,
+                                 label="measure")
+    assert report.deterministic
+    assert report.events_a > 500
 
 
 def test_report_describe_mentions_both_runs():

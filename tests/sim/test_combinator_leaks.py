@@ -1,0 +1,165 @@
+"""Regression tests for AllOf/AnyOf callback leaks and abandonment.
+
+The latent bug these pin: combinators used to leave their per-child
+callbacks registered on losing (AnyOf) or remaining (AllOf fail-fast)
+children forever.  Hedged-read loops -- race a fresh timeout against
+one long-lived event, repeatedly -- grew that event's callback list
+without bound, and a Store item or Resource slot granted to a losing
+child was silently lost.  Completion must detach from every undecided
+child and fire its ``on_abandon`` hook so the producer reclaims.
+"""
+
+import pytest
+
+from repro.analysis.hb import KernelMonitor
+from repro.sim import Environment, Store, Timeout, US
+
+
+def _callback_count(event):
+    return len(event.callbacks or ())
+
+
+def test_anyof_detaches_losing_child():
+    # The hedged-read shape from shard/router.py: one long-lived event
+    # raced against a fresh timeout, many times over.
+    env = Environment()
+    slow = env.event()
+
+    def hedger():
+        for _ in range(100):
+            index, value = yield env.any_of([slow, env.timeout(1 * US, "t")])
+            assert (index, value) == (1, "t")
+        return _callback_count(slow)
+
+    assert env.run_process(hedger()) == 0
+
+
+def test_anyof_fires_on_abandon_for_losers():
+    env = Environment()
+    slow = env.event()
+    abandoned = []
+    slow.on_abandon = abandoned.append
+
+    def hedger():
+        yield env.any_of([slow, env.timeout(1 * US)])
+
+    env.run_process(hedger())
+    assert abandoned == [slow]
+
+
+def test_allof_fail_fast_detaches_remaining_children():
+    env = Environment()
+    pending = env.event()
+    doomed = env.event()
+    abandoned = []
+    pending.on_abandon = abandoned.append
+
+    def waiter():
+        with pytest.raises(RuntimeError, match="boom"):
+            yield env.all_of([pending, doomed])
+
+    def failer():
+        yield env.timeout(1 * US)
+        doomed.fail(RuntimeError("boom"))
+
+    env.process(waiter(), name="waiter")
+    env.process(failer(), name="failer")
+    env.run()
+    assert abandoned == [pending]
+    assert _callback_count(pending) == 0
+
+
+def test_anyof_losing_store_get_is_reclaimed():
+    # A Store item granted to a wait the combinator walked away from
+    # must go back to the queue, not vanish with the loser.
+    env = Environment()
+    store = Store(env)
+    outcomes = []
+
+    def impatient():
+        index, _value = yield env.any_of([store.get(), env.timeout(1 * US)])
+        outcomes.append(("impatient", index))
+
+    def producer():
+        yield env.timeout(2 * US)
+        yield store.put("item")
+
+    def patient():
+        yield env.timeout(3 * US)
+        item = yield store.get()
+        outcomes.append(("patient", item))
+
+    env.process(impatient(), name="impatient")
+    env.process(producer(), name="producer")
+    env.process(patient(), name="patient")
+    env.run()
+    assert outcomes == [("impatient", 1), ("patient", "item")]
+    assert len(store) == 0
+
+
+def test_interrupted_combinator_propagates_abandonment():
+    # Interrupting the waiter abandons the AnyOf itself, which must
+    # cascade the detach to every still-pending child.
+    env = Environment()
+    children = [env.event() for _ in range(3)]
+    abandoned = []
+    for child in children:
+        child.on_abandon = abandoned.append
+
+    def waiter():
+        try:
+            yield env.any_of(children)
+        except Exception:
+            pass
+
+    proc = env.process(waiter(), name="waiter")
+
+    def interrupter():
+        yield env.timeout(1 * US)
+        proc.interrupt("walk away")
+
+    env.process(interrupter(), name="interrupter")
+    env.run()
+    assert abandoned == children
+    assert all(_callback_count(child) == 0 for child in children)
+
+
+class _TriggerLog(KernelMonitor):
+    def __init__(self):
+        self.triggered = []
+
+    def on_trigger(self, event):
+        self.triggered.append((type(event).__name__, event.env.now))
+
+
+def test_timeout_trigger_visible_to_monitor():
+    # Regression: Timeout used to stamp its outcome inline, bypassing
+    # succeed(), so monitors (the hb race detector, the sanitizer's
+    # trace recorder) never saw timeout triggers and the trigger->resume
+    # happens-before edge for timeouts was silently missing.
+    env = Environment()
+    monitor = _TriggerLog()
+    env.monitor = monitor
+
+    def sleeper():
+        yield env.timeout(1 * US)
+        yield env.timeout(0.0)
+
+    env.run_process(sleeper())
+    timeout_triggers = [entry for entry in monitor.triggered
+                        if entry[0] == Timeout.__name__]
+    # Both armings observed, stamped at creation time (birth instant),
+    # under both entry points (env.timeout and the zero-delay path).
+    assert timeout_triggers == [("Timeout", 0.0), ("Timeout", 1 * US)]
+
+
+def test_timeout_class_entry_point_notifies_monitor_too():
+    env = Environment()
+    monitor = _TriggerLog()
+    env.monitor = monitor
+
+    def sleeper():
+        yield Timeout(env, 1 * US)
+
+    env.run_process(sleeper())
+    assert ("Timeout", 0.0) in monitor.triggered

@@ -123,7 +123,26 @@ def test_kernelbench_prints_steps_per_second(capsys):
     assert main(["kernelbench", "--rounds", "1", "--batches", "20"]) == 0
     out = capsys.readouterr().out
     assert "steps/sec" in out
-    assert "best:" in out
+    assert "best [calendar]:" in out
+
+
+def test_kernelbench_ab_compares_schedulers(capsys):
+    assert main(["kernelbench", "--rounds", "1", "--batches", "20",
+                 "--scheduler", "both"]) == 0
+    out = capsys.readouterr().out
+    assert "best [calendar]:" in out
+    assert "best [heap]:" in out
+    assert "calendar/heap speedup:" in out
+
+
+def test_kernelbench_floor_gates(capsys):
+    # An absurdly high floor must fail the gate (exit 1)...
+    assert main(["kernelbench", "--rounds", "1", "--batches", "20",
+                 "--min-steps-per-sec", "1e15"]) == 1
+    assert "below the floor" in capsys.readouterr().out
+    # ...and a trivially low one must pass.
+    assert main(["kernelbench", "--rounds", "1", "--batches", "20",
+                 "--min-steps-per-sec", "1"]) == 0
 
 
 def test_shard_smoke_passes_and_reports(capsys):
