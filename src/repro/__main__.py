@@ -18,6 +18,10 @@ Convenience launcher for a repository checkout:
 * ``python -m repro shard`` -- drive zipfian YCSB traffic across the
   sharded scale-out tier (``repro.shard``) and dump the fleet stats;
   ``--smoke`` runs the quick CI invariants (kill-survival, determinism);
+* ``python -m repro verbs`` -- A/B a dependent-GET workload over the
+  classic two-hop transport vs one-RTT remote-side verb programs;
+  ``--smoke`` is the CI gate (digest equivalence, latency win,
+  program/fallback accounting, same-seed determinism);
 * ``python -m repro lint`` -- run the determinism AST linter
   (``repro.analysis``) over source paths; exit 0 clean, 1 findings,
   2 internal error;
@@ -479,6 +483,148 @@ def cmd_shard(seed: int, shards: int, ops: int, replication: int,
     return 0
 
 
+def _verbs_run(seed: int, ops: int, programs: bool) -> dict:
+    """One dependent-GET pass on a fresh testbed; pure in (args)."""
+    import hashlib
+    import struct
+
+    from repro.core import Slo
+    from repro.obs.metrics import MetricsRegistry
+    from repro.workloads.scenarios import build_cluster
+
+    region = 1 << 20
+    capacity = 4 * region
+    record_bytes = 256
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    env = harness.env
+    client = harness.redy_client("verbs-smoke")
+    cache = client.create(
+        capacity, Slo(max_latency=1e-3, min_throughput=1e5,
+                      record_size=record_bytes),
+        duration_s=3600.0, region_bytes=region,
+        use_verb_programs=programs)
+
+    digest = hashlib.sha256()
+    stats = {"ok": 0, "failed": 0, "latency_s": 0.0}
+    n_regions = capacity // region
+
+    def body():
+        for index in range(ops):
+            reg = index % n_regions
+            pointer_addr = reg * region + 64
+            # Region-local record offset; vary it so the chase actually
+            # has to dereference the pointer word, not a fixed address.
+            local = 4096 + (index % 7) * 512
+            payload = bytes((index + j) % 251 for j in range(record_bytes))
+            wrote = yield cache.write(reg * region + local, payload)
+            swung = yield cache.write(pointer_addr,
+                                      struct.pack("<Q", local))
+            read = yield cache.dependent_read(pointer_addr, record_bytes)
+            if wrote.ok and swung.ok and read.ok and read.data == payload:
+                stats["ok"] += 1
+                stats["latency_s"] += read.latency
+                digest.update(read.data)
+            else:
+                stats["failed"] += 1
+
+    env.run_process(body(), name="verbs-workload")
+
+    def metric(name: str) -> int:
+        value = registry.get(name)
+        return int(value.value) if value is not None else 0
+
+    mean_us = (stats["latency_s"] / stats["ok"] * 1e6
+               if stats["ok"] else 0.0)
+    return {
+        "transport": "program" if programs else "two-hop",
+        "seed": seed,
+        "ops": ops,
+        "ok": stats["ok"],
+        "failed": stats["failed"],
+        "digest": digest.hexdigest(),
+        "read_latency_mean_us": mean_us,
+        "programs": metric("engine.programs"),
+        "two_hop_reads": metric("engine.two_hop_reads"),
+        "program_fallbacks": metric("engine.program_fallbacks"),
+        "program_cas_aborts": metric("engine.program_cas_aborts"),
+    }
+
+
+def cmd_verbs(seed: int, ops: int, smoke: bool, as_json: bool) -> int:
+    """A/B dependent GETs: two-hop transport vs one-RTT verb programs.
+
+    Runs the same pointer-chase workload (write record, swing pointer
+    word, dependent-read it back) under both transports.  ``--smoke``
+    is the CI gate: byte-identical read-back digests, a program-path
+    latency win, clean program/fallback accounting, and a same-seed
+    replay that must be bit-identical.
+    """
+    if smoke:
+        ops = min(ops, 48)
+    two_hop = _verbs_run(seed, ops, programs=False)
+    program = _verbs_run(seed, ops, programs=True)
+
+    if smoke:
+        failures = []
+        if two_hop["failed"] or program["failed"]:
+            failures.append(
+                f"failed ops: two-hop {two_hop['failed']}, "
+                f"program {program['failed']}")
+        if two_hop["digest"] != program["digest"]:
+            failures.append("transport digests diverge: "
+                            "program reads returned different bytes")
+        if program["read_latency_mean_us"] \
+                >= two_hop["read_latency_mean_us"]:
+            failures.append(
+                f"no latency win: program "
+                f"{program['read_latency_mean_us']:.2f}us vs two-hop "
+                f"{two_hop['read_latency_mean_us']:.2f}us")
+        if program["programs"] != program["ok"]:
+            failures.append(
+                f"{program['ok']} chases but {program['programs']} "
+                "programs issued")
+        if program["program_fallbacks"] or program["program_cas_aborts"]:
+            failures.append("unexpected aborts/fallbacks on a quiet "
+                            "cluster")
+        if two_hop["programs"]:
+            failures.append("two-hop run issued verb programs")
+        if two_hop["two_hop_reads"] != two_hop["ok"]:
+            failures.append(
+                f"{two_hop['ok']} chases but {two_hop['two_hop_reads']} "
+                "two-hop reads")
+        replay = _verbs_run(seed, ops, programs=True)
+        if replay != program:
+            failures.append("same-seed replay diverged")
+        for line in failures:
+            print(f"FAIL: {line}")
+        if not failures:
+            ratio = (two_hop["read_latency_mean_us"]
+                     / program["read_latency_mean_us"])
+            print(f"verbs smoke OK: {ops} chases, digests equal, "
+                  f"program {program['read_latency_mean_us']:.2f}us vs "
+                  f"two-hop {two_hop['read_latency_mean_us']:.2f}us "
+                  f"({ratio:.2f}x), replay bit-identical")
+        return 1 if failures else 0
+
+    if as_json:
+        print(json.dumps({"two_hop": two_hop, "program": program},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"== dependent GETs, two-hop vs verb programs (seed {seed}) ==")
+    for blob in (two_hop, program):
+        print(f"{blob['transport']:>8}: {blob['ok']}/{blob['ops']} ok, "
+              f"mean read {blob['read_latency_mean_us']:.2f} us, "
+              f"programs={blob['programs']} "
+              f"two_hop_reads={blob['two_hop_reads']} "
+              f"fallbacks={blob['program_fallbacks']}")
+    ratio = (two_hop["read_latency_mean_us"]
+             / max(program["read_latency_mean_us"], 1e-12))
+    print(f"latency ratio (two-hop / program): {ratio:.2f}x")
+    print(f"digests {'match' if two_hop['digest'] == program['digest'] else 'DIVERGE'}")
+    return 0
+
+
 def cmd_lint(paths: list[str], fmt: str, rules: str | None) -> int:
     """Run the determinism AST linter (``repro.analysis``) over paths.
 
@@ -517,7 +663,7 @@ def cmd_sanitize(workload: str, seed: int, fmt: str, smoke: bool) -> int:
             print(f"{name:>18}  {doc}")
         return 0
     if smoke:
-        names = ["measure", "chaos-spot-churn"]
+        names = ["measure", "measure-programs", "chaos-spot-churn"]
     elif workload not in WORKLOADS:
         print(f"unknown sanitize workload {workload!r}; "
               f"try `python -m repro sanitize list`")
@@ -629,6 +775,17 @@ def main(argv: list[str] | None = None) -> int:
                        help="emit the full report as one JSON blob")
     shard.add_argument("--out", default=None,
                        help="also write the JSON report to this file")
+    verbs = sub.add_parser(
+        "verbs",
+        help="A/B dependent GETs: two-hop vs one-RTT verb programs")
+    verbs.add_argument("--seed", type=int, default=0)
+    verbs.add_argument("--ops", type=int, default=200,
+                       help="pointer chases per transport")
+    verbs.add_argument("--smoke", action="store_true",
+                       help="CI gate: digest equivalence + latency win "
+                            "+ determinism checks")
+    verbs.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit both runs as one JSON blob")
     lint = sub.add_parser(
         "lint",
         help="run the determinism AST linter (repro.analysis)")
@@ -677,6 +834,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_shard(args.seed, args.shards, args.ops,
                              args.replication, args.no_hotkeys,
                              args.smoke, args.as_json, args.out)
+        if args.command == "verbs":
+            return cmd_verbs(args.seed, args.ops, args.smoke, args.as_json)
         if args.command == "lint":
             return cmd_lint(args.paths, args.fmt, args.rules)
         if args.command == "sanitize":

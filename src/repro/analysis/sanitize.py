@@ -357,6 +357,23 @@ def _workload_chaos(seed: int) -> None:
     run_scenario("spot-churn", seed=seed)
 
 
+def _workload_programs(seed: int) -> None:
+    """A dependent-read measurement with verb programs enabled.
+
+    Exercises the one-RTT GET path end to end: program-scoped kernel
+    events (one trigger -> resume edge per program, not per step) must
+    trace identically across runs and schedulers.
+    """
+    from repro.core.config import RdmaConfig
+    from repro.core.measurement import measure_config
+    from repro.obs.metrics import MetricsRegistry
+
+    config = RdmaConfig(2, 0, 1, 4, use_verb_programs=True)
+    measure_config(config, 256, seed=seed, read_fraction=1.0,
+                   dependent_reads=True, batches_per_connection=20,
+                   warmup_batches=5, metrics=MetricsRegistry())
+
+
 # Deliberately nondeterministic demo: module state leaks across runs the
 # way a forgotten global cache would, so the second run schedules
 # differently and draws once more from its RNG stream.
@@ -386,6 +403,7 @@ def _workload_nondet_demo(seed: int) -> None:
 #: Name -> workload callable; each takes a seed and runs to completion.
 WORKLOADS: Dict[str, Callable[[int], Any]] = {
     "measure": _workload_measure,
+    "measure-programs": _workload_programs,
     "chaos-spot-churn": _workload_chaos,
     "demo-nondet": _workload_nondet_demo,
 }

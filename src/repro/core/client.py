@@ -15,7 +15,7 @@ optional backing file.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.cluster.allocator import AllocationError
@@ -133,19 +133,25 @@ class RedyClient:
                retry_policy: RetryPolicy = RetryPolicy(),
                auto_recover: bool = False,
                exclude_servers: Optional[frozenset] = None,
-               harvest: bool = False) -> "RedyCache":
+               harvest: bool = False,
+               use_verb_programs: Optional[bool] = None) -> "RedyCache":
         """Table 1 *Create*: provision a cache and optionally populate it
         with a prefix of ``file``.  Raises
         :class:`~repro.core.manager.SloUnsatisfiableError` (and leaves no
         state behind) when the request cannot be satisfied.
         ``exclude_servers`` keeps the cache off given fault domains
         (used by replication); ``harvest=True`` requests essentially-free
-        stranded memory, accessed one-sided.
+        stranded memory, accessed one-sided.  ``use_verb_programs``
+        overrides the manager-chosen configuration's dependent-read
+        transport (one-RTT verb programs vs classic two-hop GETs).
         """
         allocation = self.manager.allocate(
             capacity, slo, duration_s, client_placement=self.placement,
             region_bytes=region_bytes, exclude_servers=exclude_servers,
             harvest=harvest)
+        if use_verb_programs is not None:
+            allocation.config = replace(
+                allocation.config, use_verb_programs=use_verb_programs)
         cache = RedyCache(self, allocation, slo, region_bytes,
                           backed=backed, backing_file=file,
                           migration_policy=migration_policy,
@@ -271,27 +277,51 @@ class RedyCache:
         """Asynchronous write of ``data`` at ``addr``."""
         return self._start_io(False, addr, len(data), data, callback)
 
+    def dependent_read(self, pointer_addr: int, size: int,
+                       callback: Optional[Callable[[CacheIoResult], None]]
+                       = None) -> Event:
+        """Pointer-chasing read: dereference the little-endian u64 at
+        ``pointer_addr`` and read ``size`` bytes at the address it holds.
+
+        This is the FASTER-through-Redy GET shape (hash-bucket word ->
+        hybrid-log record).  With ``use_verb_programs`` enabled on the
+        cache's configuration the chase runs as a remote-side verb
+        program in one round trip, with a self-verifying CAS guard on the
+        pointer word (migration safety); otherwise -- or on endpoints
+        without program support -- it takes the classic two sequential
+        READs.  Either way the pointer and record must live in the same
+        region: the pointer's target is a region-local offset.
+        """
+        return self._start_io(True, pointer_addr, size, None, callback,
+                              dependent=True)
+
     def _start_io(self, is_read: bool, addr: int, size: int,
                   data: Optional[bytes],
-                  callback: Optional[Callable]) -> Event:
+                  callback: Optional[Callable],
+                  dependent: bool = False) -> Event:
         if self.deleted:
             raise CacheDeletedError("cache was deleted")
         done = self.env.event()
         if callback is not None:
             done._add_callback(lambda event: callback(event.value))
         policy = self.retry_policy
+        kind = "d" if dependent else ("r" if is_read else "w")
         if policy.max_attempts == 1 and policy.attempt_timeout_s is None:
             # Fail-fast default: no wrapper process on the hot path.
-            self.env.process(self._io(is_read, addr, size, data, done),
-                             name=f"redy-io-{'r' if is_read else 'w'}@{addr}")
+            self.env.process(
+                self._io(is_read, addr, size, data, done,
+                         dependent=dependent),
+                name=f"redy-io-{kind}@{addr}")
         else:
             self.env.process(
-                self._io_with_retry(is_read, addr, size, data, done),
-                name=f"redy-io-retry-{'r' if is_read else 'w'}@{addr}")
+                self._io_with_retry(is_read, addr, size, data, done,
+                                    dependent=dependent),
+                name=f"redy-io-retry-{kind}@{addr}")
         return done
 
     def _io_with_retry(self, is_read: bool, addr: int, size: int,
-                       data: Optional[bytes], done: Event):
+                       data: Optional[bytes], done: Event,
+                       dependent: bool = False):
         """Drive :meth:`_io` attempts under the cache's retry policy.
 
         Capped exponential backoff between attempts; an optional
@@ -312,9 +342,11 @@ class RedyCache:
                 result = CacheIoResult(ok=False, error="cache was deleted")
                 break
             inner = self.env.event()
+            kind = "d" if dependent else ("r" if is_read else "w")
             self.env.process(
-                self._io(is_read, addr, size, data, inner),
-                name=f"redy-io-{'r' if is_read else 'w'}@{addr}#{attempt}")
+                self._io(is_read, addr, size, data, inner,
+                         dependent=dependent),
+                name=f"redy-io-{kind}@{addr}#{attempt}")
             if policy.attempt_timeout_s is None:
                 result = yield inner
             else:
@@ -336,7 +368,10 @@ class RedyCache:
         done.succeed(result)
 
     def _io(self, is_read: bool, addr: int, size: int,
-            data: Optional[bytes], done: Event):
+            data: Optional[bytes], done: Event, dependent: bool = False):
+        if dependent:
+            yield from self._dependent_io(addr, size, done)
+            return
         start = self.env.now
         try:
             fragments = self.table.translate(addr, size)
@@ -380,6 +415,47 @@ class RedyCache:
                         result.data
             payload = bytes(buffer)
         done.succeed(CacheIoResult(ok=True, data=payload,
+                                   latency=self.env.now - start))
+
+    def _dependent_io(self, pointer_addr: int, size: int, done: Event):
+        """One pointer-chasing GET: translate the 8-byte pointer word,
+        then hand the chase to the data path as a single dependent op.
+
+        The engine picks the transport (one-RTT verb program when the
+        configuration and endpoint allow it, two sequential READs
+        otherwise) and the record offset resolves remotely -- the client
+        never sees the intermediate pointer value.
+        """
+        start = self.env.now
+        try:
+            fragments = self.table.translate(pointer_addr, 8)
+        except AddressError as exc:
+            done.succeed(CacheIoResult(ok=False, error=str(exc)))
+            return
+        if len(fragments) != 1:
+            done.succeed(CacheIoResult(
+                ok=False,
+                error="dependent read: pointer word spans regions"))
+            return
+        fragment = fragments[0]
+        gate = self.table.read_gate(fragment.region_index)
+        if gate is not None:
+            yield gate  # §6.2: paused until the region migrates
+        # Re-resolve the mapping: it may have flipped while we waited.
+        mapping = self.table.region(fragment.region_index)
+        op = EngineOp(
+            is_read=True, size=size, token=mapping.token, offset=0,
+            lookup_offset=fragment.offset, verify=True,
+            completion=self.env.event())
+        yield self.env.timeout(self.path.submission_overhead())
+        yield self.path.submit(op)
+        result = yield op.completion
+        if not result.ok:
+            done.succeed(CacheIoResult(
+                ok=False, error=result.error,
+                latency=self.env.now - start))
+            return
+        done.succeed(CacheIoResult(ok=True, data=result.data,
                                    latency=self.env.now - start))
 
     def populate(self, file: bytes) -> None:

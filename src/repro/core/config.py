@@ -83,6 +83,12 @@ class RdmaConfig:
     lock_free: bool = True
     one_sided_fast_path: bool = True
     numa_affinity: bool = True
+    #: Dependent reads (pointer -> record GETs) execute as remote-side
+    #: verb programs in one round trip instead of two sequential READs
+    #: (see ``repro.net.programs``).  Off by default: the classic
+    #: two-hop path is the measured baseline, and endpoints without
+    #: chained-WQE support fall back to it anyway.
+    use_verb_programs: bool = False
 
     def __post_init__(self) -> None:
         if self.client_threads < 1:
@@ -121,7 +127,8 @@ class RdmaConfig:
 
     def with_ablation(self, *, lock_free: bool | None = None,
                       one_sided_fast_path: bool | None = None,
-                      numa_affinity: bool | None = None) -> "RdmaConfig":
+                      numa_affinity: bool | None = None,
+                      use_verb_programs: bool | None = None) -> "RdmaConfig":
         """Copy with some optimization switches flipped."""
         updates = {}
         if lock_free is not None:
@@ -130,6 +137,8 @@ class RdmaConfig:
             updates["one_sided_fast_path"] = one_sided_fast_path
         if numa_affinity is not None:
             updates["numa_affinity"] = numa_affinity
+        if use_verb_programs is not None:
+            updates["use_verb_programs"] = use_verb_programs
         return replace(self, **updates)
 
     def describe(self) -> str:

@@ -34,8 +34,9 @@ from repro.core.server import CacheServer, RING_SLOT_BYTES
 from repro.hardware.profiles import TestbedProfile
 from repro.net.fabric import Endpoint
 from repro.net.memory import MemoryRegion
+from repro.net.programs import VerbProgram
 from repro.net.qp import QueuePair
-from repro.net.verbs import RdmaOp, WorkRequest
+from repro.net.verbs import Completion, RdmaOp, WorkRequest
 from repro.obs.metrics import registry_of
 from repro.sim.kernel import Environment, Event
 from repro.sim.resources import Resource, Store
@@ -129,6 +130,12 @@ class CacheDataPath:
             self._completed_counter = metrics.counter("engine.ops_completed")
             self._failed_counter = metrics.counter("engine.ops_failed")
             self._timeout_counter = metrics.counter("engine.timeouts")
+            self._programs_counter = metrics.counter("engine.programs")
+            self._two_hop_counter = metrics.counter("engine.two_hop_reads")
+            self._fallback_counter = metrics.counter(
+                "engine.program_fallbacks")
+            self._cas_abort_counter = metrics.counter(
+                "engine.program_cas_aborts")
         else:
             self._op_latency = None
             self._credit_wait = None
@@ -136,6 +143,10 @@ class CacheDataPath:
             self._completed_counter = None
             self._failed_counter = None
             self._timeout_counter = None
+            self._programs_counter = None
+            self._two_hop_counter = None
+            self._fallback_counter = None
+            self._cas_abort_counter = None
         for thread in self.threads:
             env.process(self._completion_loop(thread),
                         name=f"redy-client:{client_endpoint.name}:"
@@ -245,6 +256,21 @@ class CacheDataPath:
             self._round_robin += 1
         thread = self.threads[thread_index % len(self.threads)]
         connection = self._route(thread, op)
+        if op.is_dependent:
+            # Dependent GETs never enter the message-ring batching
+            # protocol: they are posted on their own doorbell (as a verb
+            # program, or as the classic two-hop READ sequence), so they
+            # cannot be folded into a two-sided batch that would lose
+            # the pointer-chase semantics.
+            if op.token is None:
+                raise EngineError("dependent reads need a region token")
+            if op.weight != 1:
+                raise EngineError("dependent reads are weight-1 ops")
+            self.env.process(
+                self._dependent_read(thread, connection, op),
+                name=f"redy-client:{self.endpoint.name}:"
+                     f"t{thread.index}:dependent-read")
+            return self.env.timeout(0)
         return connection.batch_ring.put(op)
 
     def _route(self, thread: _ClientThread, op: EngineOp) -> _Connection:
@@ -364,6 +390,100 @@ class CacheDataPath:
         self._finish(op, OpResult(
             ok=completion.ok, data=completion.data, error=completion.error,
             latency=self.env.now - op.enqueued_at))
+
+    def _dependent_read(self, thread: _ClientThread, connection: _Connection,
+                        op: EngineOp):
+        """One pointer-chasing GET: index word first, then the record.
+
+        With ``use_verb_programs`` on (and a supporting remote NIC) the
+        whole chain is one posted program -- one round trip.  Otherwise,
+        or when a program completes in error (CAS guard abort, region
+        revoked mid-chain, downlevel endpoint), the classic two-hop READ
+        sequence runs as the fallback; an op only fails if the fallback
+        fails too, so no acked read is lost to the optimization.
+        """
+        env = self.env
+        cpu, nic = self.profile.cpu, self.profile.nic
+        credit_wait_started = env.now
+        yield connection.credits.get()
+        if self._credit_wait is not None:
+            self._credit_wait.observe(env.now - credit_wait_started)
+
+        yield thread.cpu.acquire()
+        work = cpu.batch_prepare + nic.doorbell + cpu.client_per_op
+        yield env.timeout(work * self._noise())
+        thread.cpu.release()
+
+        supports = connection.server.endpoint.supports_programs
+        use_programs = self.config.use_verb_programs and supports
+        completion: Optional[Completion] = None
+        if self.config.use_verb_programs and not supports:
+            # Graceful degradation: remote NIC cannot run chains.
+            if self._fallback_counter is not None:
+                self._fallback_counter.inc()
+        if use_programs:
+            program = VerbProgram.dependent_read(
+                pointer_offset=op.lookup_offset,
+                pointer_bytes=op.lookup_size,
+                fallback_offset=op.offset,
+                read_bytes=op.size,
+                verify=op.verify,
+                label="get:bucket->record")
+            if self._programs_counter is not None:
+                self._programs_counter.inc()
+            completion = yield connection.qp.post_program(program, op.token)
+            if completion.cas_aborted and self._cas_abort_counter is not None:
+                self._cas_abort_counter.inc()
+            if not completion.ok:
+                # Abort fallback: re-run the access as the classic
+                # two-hop sequence (it re-samples the pointer, so a
+                # guard abort resolves to the post-move location).
+                if self._fallback_counter is not None:
+                    self._fallback_counter.inc()
+                completion = None
+        if completion is None:
+            if self._two_hop_counter is not None:
+                self._two_hop_counter.inc()
+            completion = yield from self._two_hop_read(thread, connection, op)
+
+        yield thread.cpu.acquire()
+        work = nic.completion_poll + cpu.callback
+        yield env.timeout(work * self._noise())
+        thread.cpu.release()
+        if not self.config.numa_affinity:
+            yield env.timeout(cpu.numa_penalty_mean * math.exp(
+                self.rng.normal(0.0, self._jitter_sigma)
+                - self._jitter_sigma**2 / 2))
+        connection.credits.try_put(object())
+        self._finish(op, OpResult(
+            ok=completion.ok, data=completion.data, error=completion.error,
+            latency=env.now - op.enqueued_at))
+
+    def _two_hop_read(self, thread: _ClientThread, connection: _Connection,
+                      op: EngineOp):
+        """The classic dependent GET: READ the pointer word, reap it,
+        parse, then READ the record -- two full round trips plus a
+        client-CPU turnaround between them."""
+        cpu, nic = self.profile.cpu, self.profile.nic
+        first = yield connection.qp.post(WorkRequest(
+            RdmaOp.READ, op.token, op.lookup_offset, op.lookup_size))
+        if not first.ok:
+            return first
+        # Turnaround: poll the completion, parse the pointer, build and
+        # ring the doorbell for the second READ.
+        yield thread.cpu.acquire()
+        work = nic.completion_poll + cpu.callback + nic.doorbell
+        yield self.env.timeout(work * self._noise())
+        thread.cpu.release()
+        if first.data is not None and len(first.data) >= 1:
+            target = int.from_bytes(first.data[:8], "little")
+        else:
+            # Size-only region: no bytes came back; chase the static
+            # fallback offset (same wire timing either way).
+            target = op.offset
+        second = yield connection.qp.post(WorkRequest(
+            RdmaOp.READ, op.token, target, op.size))
+        return second
 
     def _watch_request_ack(self, connection: _Connection, batch: RequestBatch,
                            ack_event: Event):

@@ -81,7 +81,8 @@ def measure_config(config: RdmaConfig, record_size: int, *,
                    extra_outstanding: int = 0,
                    seed: int = 0,
                    metrics: Optional[MetricsRegistry] = None,
-                   scheduler: Optional[str] = None
+                   scheduler: Optional[str] = None,
+                   dependent_reads: bool = False
                    ) -> MeasurementResult:
     """Measure one RDMA configuration on the simulated testbed.
 
@@ -91,6 +92,13 @@ def measure_config(config: RdmaConfig, record_size: int, *,
     op standing for ``b`` application requests) so that simulating
     hundred-MOPS configurations stays tractable; the half-batch fill wait
     an average request would see is added back to each sample.
+
+    ``dependent_reads=True`` switches the workload to pointer-chasing
+    GETs (index word -> record), the FASTER-through-Redy access pattern:
+    each op names a pointer offset to chase and the record offset as its
+    size-only fallback.  ``config.use_verb_programs`` then selects the
+    one-round-trip program path versus the classic two-hop baseline --
+    the fig11/fig12 A/B toggle.
     """
     rngs = RngRegistry(seed=seed)
     # `scheduler` picks the kernel's event-list implementation (see
@@ -115,6 +123,10 @@ def measure_config(config: RdmaConfig, record_size: int, *,
     token = tokens[0]
 
     weight = config.batch_size if not config.uses_one_sided else 1
+    if dependent_reads:
+        # Dependent GETs are weight-1 ops posted on their own doorbell
+        # (they bypass the message-ring batching protocol entirely).
+        weight = 1
     outstanding = config.queue_depth + extra_outstanding
     total_connections = config.client_threads
     warmup_target = warmup_batches * total_connections
@@ -124,6 +136,13 @@ def measure_config(config: RdmaConfig, record_size: int, *,
     workload_rng = rngs.stream("workload")
     offsets = workload_rng.integers(
         0, _MEASUREMENT_REGION_BYTES - record_size, size=4096)
+    # Pointer-word offsets for the dependent-read workload.  Drawn only
+    # when needed so the classic workload's RNG stream (and therefore
+    # every existing benchmark result) is untouched.
+    lookup_offsets = None
+    if dependent_reads:
+        lookup_offsets = workload_rng.integers(
+            0, _MEASUREMENT_REGION_BYTES - 8, size=4096)
 
     state = {
         "completed": 0,
@@ -148,15 +167,23 @@ def measure_config(config: RdmaConfig, record_size: int, *,
         n_offsets = len(offsets)
         append_latency = latencies.append
         while not state["stop"]:
-            is_read = draw() < read_fraction
+            is_read = dependent_reads or draw() < read_fraction
             # The application thread hands each request through the batch
             # ring; a full batch costs `weight` handoffs.
             handoff = weight * overhead()
             yield timeout(handoff)
-            op = EngineOp(
-                is_read=is_read, size=record_size, token=token,
-                offset=int(offsets[offset_cursor % n_offsets]),
-                weight=weight, completion=new_event())
+            if dependent_reads:
+                op = EngineOp(
+                    is_read=True, size=record_size, token=token,
+                    offset=int(offsets[offset_cursor % n_offsets]),
+                    lookup_offset=int(
+                        lookup_offsets[offset_cursor % n_offsets]),
+                    weight=1, completion=new_event())
+            else:
+                op = EngineOp(
+                    is_read=is_read, size=record_size, token=token,
+                    offset=int(offsets[offset_cursor % n_offsets]),
+                    weight=weight, completion=new_event())
             offset_cursor += 1
             yield submit(op, thread_index=thread_index)
             result = yield op.completion

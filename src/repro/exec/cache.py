@@ -30,7 +30,7 @@ __all__ = ["CODE_VERSION", "ResultCache", "cache_key"]
 #: Bump whenever a change alters measurement numerics (kernel event
 #: ordering, RNG stream layout, timing model): old cache entries then
 #: miss instead of serving stale results.
-CODE_VERSION = "repro-exec/v2"  # v2: calendar-queue kernel, math.exp noise path
+CODE_VERSION = "repro-exec/v3"  # v3: dependent-read workloads + verb-program transport toggle
 
 #: Blob schema tag, checked on read so a future layout change cannot be
 #: misinterpreted as a hit.

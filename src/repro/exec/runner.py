@@ -46,12 +46,20 @@ class SweepTask:
     warmup_batches: int = 30
     extra_outstanding: int = 0
     seed: int = 0
+    #: Pointer-chasing GET workload (index word -> record); the config's
+    #: ``use_verb_programs`` picks the transport.  Changes measured
+    #: results, so it is part of the cache key.
+    dependent_reads: bool = False
     #: Kernel event-list implementation ("calendar"/"heap"); None
     #: inherits the process-wide default.  Scheduler choice never
     #: affects measured results (the equivalence suite pins this), so
     #: it is deliberately *excluded* from the cache key: both
     #: schedulers hit the same cached blob.
     scheduler: Optional[str] = None
+    #: Cosmetic display label for reports/progress output.  Never
+    #: affects the measurement, so -- like ``scheduler`` -- it is
+    #: excluded from the cache key: relabelled sweeps still hit.
+    label: str = ""
 
     def cache_key(self) -> str:
         return cache_key(
@@ -64,6 +72,7 @@ class SweepTask:
             warmup_batches=self.warmup_batches,
             extra_outstanding=self.extra_outstanding,
             seed=self.seed,
+            dependent_reads=self.dependent_reads,
         )
 
 
@@ -102,6 +111,7 @@ def _execute_task(task: SweepTask) -> Tuple[MeasurementResult, Dict]:
         seed=task.seed,
         metrics=registry,
         scheduler=task.scheduler,
+        dependent_reads=task.dependent_reads,
     )
     return result, registry.snapshot()
 

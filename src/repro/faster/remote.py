@@ -1,0 +1,265 @@
+"""FASTER-over-Redy with a *remote* index: one-RTT dependent GETs.
+
+The classic :class:`~repro.faster.devices.RedyDevice` integration keeps
+the hash index in client memory and only spills log pages to the cache.
+This module pushes the index itself into the cache -- the layout real
+disaggregated deployments want once the working set outgrows the client
+VM -- and makes the resulting pointer chase cheap again:
+
+* the cache's address space starts with an open-addressed **bucket
+  table** (16-byte slots: ``int64`` key, ``u64`` record address, with
+  address 0 as the NULL sentinel -- no record ever lives at offset 0
+  because the table itself does);
+* the **hybrid-log records** follow, appended at a client-tracked tail.
+
+A GET then needs the bucket's address word *and* the record it points
+at: a dependent read.  With ``use_verb_programs`` enabled on the cache
+this runs as one remote-side verb program (READ word, READ record, CAS
+guard on the word) in a single round trip; otherwise it is the classic
+two sequential READs.  Either way the client never materializes the
+index: collisions are detected from the fetched record's embedded key
+and resolved by a remote probe fallback.
+
+Writes order record-before-slot-swing, so a concurrent dependent GET
+observes either the old or the new version, never a torn one -- and the
+program path's CAS guard additionally detects a slot that changed while
+the chase was in flight.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.faster.address import record_bytes, unpack_record
+from repro.faster.hashtable import _mix
+from repro.obs.metrics import registry_of
+from repro.sim.clock import US
+from repro.sim.resources import Resource
+
+__all__ = ["RemoteFasterStore", "RemoteReadOutcome", "SLOT_BYTES"]
+
+#: Bucket-slot footprint: int64 key + u64 record address.
+SLOT_BYTES = 16
+
+#: NULL record address (the bucket table occupies offset 0).
+_NULL = 0
+
+_SLOT = struct.Struct("<qQ")
+_WORD = struct.Struct("<Q")
+
+
+class RemoteReadOutcome:
+    """Result of one remote GET."""
+
+    __slots__ = ("found", "value", "one_rtt", "probes", "error")
+
+    def __init__(self, found: bool, value: bytes | None = None, *,
+                 one_rtt: bool = False, probes: int = 0,
+                 error: str | None = None):
+        self.found = found
+        self.value = value
+        self.one_rtt = one_rtt
+        self.probes = probes
+        self.error = error
+
+
+class RemoteFasterStore:
+    """A FASTER read path whose index *and* log live in a Redy cache."""
+
+    #: Client CPU to hash the key and build the chase descriptor.
+    issue_cost = 0.15 * US
+    #: Client CPU to unpack and validate the fetched record.
+    completion_cost = 0.25 * US
+
+    def __init__(self, cache, *, capacity_slots: int, value_bytes: int):
+        if capacity_slots < 8 or capacity_slots & (capacity_slots - 1):
+            raise ValueError("capacity_slots must be a power of two >= 8")
+        self.env = cache.env
+        self.cache = cache
+        self.capacity_slots = capacity_slots
+        self.value_bytes = value_bytes
+        self.record_size = record_bytes(value_bytes)
+        self.table_bytes = capacity_slots * SLOT_BYTES
+        if cache.capacity <= self.table_bytes:
+            raise ValueError(
+                f"cache capacity {cache.capacity} cannot hold a "
+                f"{self.table_bytes}-byte bucket table plus a log")
+        if len(cache.table) != 1:
+            # Dependent reads chase region-local offsets, so table and
+            # log must share one region (= one cache region).
+            raise ValueError("RemoteFasterStore needs a single-region cache")
+        #: Next log append offset (client-owned, like FASTER's tail).
+        self.tail = self.table_bytes
+        #: Lifetime statistics.
+        self.gets_one_rtt = 0
+        self.gets_probed = 0
+        self.gets_missing = 0
+        metrics = registry_of(self.env)
+        if metrics is not None:
+            self._one_rtt_counter = metrics.counter("faster.remote.one_rtt")
+            self._probe_counter = metrics.counter(
+                "faster.remote.probe_fallbacks")
+            self._miss_counter = metrics.counter("faster.remote.misses")
+        else:
+            self._one_rtt_counter = None
+            self._probe_counter = None
+            self._miss_counter = None
+
+    # ------------------------------------------------------------------
+
+    def _slot_offset(self, slot: int) -> int:
+        return slot * SLOT_BYTES
+
+    def _start_slot(self, key: int) -> int:
+        return _mix(key) & (self.capacity_slots - 1)
+
+    # ------------------------------------------------------------------
+    # Untimed bulk load (benchmark setup)
+    # ------------------------------------------------------------------
+
+    def load(self, n_records: int, value_of=None) -> None:
+        """Insert keys ``0..n_records-1`` without charging simulated time.
+
+        Occupancy is tracked in a throwaway local map purely to place
+        slots quickly; it is discarded afterwards -- steady-state
+        operation never consults client-side index state.
+        """
+        if value_of is None:
+            def value_of(key: int) -> bytes:
+                return key.to_bytes(8, "little") * (self.value_bytes // 8) \
+                    + b"\x00" * (self.value_bytes % 8)
+        from repro.faster.address import pack_record
+        occupied: dict[int, int] = {}
+        mask = self.capacity_slots - 1
+        for key in range(n_records):
+            value = value_of(key)
+            if len(value) != self.value_bytes:
+                raise ValueError(
+                    f"value_of returned {len(value)} B, store expects "
+                    f"{self.value_bytes} B")
+            slot = self._start_slot(key)
+            while slot in occupied and occupied[slot] != key:
+                slot = (slot + 1) & mask
+            occupied[slot] = key
+            addr = self.tail
+            self.tail += self.record_size
+            if self.tail > self.cache.capacity:
+                raise ValueError("cache too small for the requested load")
+            self.cache.load(addr, pack_record(key, value))
+            self.cache.load(self._slot_offset(slot), _SLOT.pack(key, addr))
+
+    # ------------------------------------------------------------------
+    # Timed operations (run inside simulation processes)
+    # ------------------------------------------------------------------
+
+    def get(self, key: int, cpu: Resource):
+        """Process: read one key, optimistically in one round trip.
+
+        The happy path issues a single dependent read against the key's
+        home slot; the fetched record's embedded key validates the hit
+        (an empty or colliding slot yields a mismatch).  The miss path
+        probes the table remotely with plain reads -- exactly what the
+        chase would have done, so correctness never depends on the
+        optimistic hit.
+        """
+        yield cpu.acquire()
+        yield self.env.timeout(self.issue_cost)
+        slot = self._start_slot(key)
+        cpu.release()
+        pointer_addr = self._slot_offset(slot) + 8
+        result = yield self.cache.dependent_read(pointer_addr,
+                                                 self.record_size)
+        yield cpu.acquire()
+        yield self.env.timeout(self.completion_cost)
+        cpu.release()
+        if result.ok and result.data is not None:
+            try:
+                record_key, value = unpack_record(result.data)
+            except ValueError:
+                # Empty or torn slot: the chase fetched non-record bytes
+                # (e.g. a NULL pointer dereferencing into the table).
+                record_key, value = None, None
+            if record_key == key:
+                self.gets_one_rtt += 1
+                if self._one_rtt_counter is not None:
+                    self._one_rtt_counter.inc()
+                return RemoteReadOutcome(True, value, one_rtt=True)
+        elif not result.ok:
+            return RemoteReadOutcome(False, error=result.error)
+        outcome = yield from self._probe(key, slot, cpu)
+        return outcome
+
+    def _probe(self, key: int, start_slot: int, cpu: Resource):
+        """Process: linear-probe the remote table (collision fallback)."""
+        mask = self.capacity_slots - 1
+        slot = start_slot
+        for probes in range(1, self.capacity_slots + 1):
+            result = yield self.cache.read(self._slot_offset(slot),
+                                           SLOT_BYTES)
+            if not result.ok:
+                return RemoteReadOutcome(False, error=result.error,
+                                         probes=probes)
+            slot_key, addr = _SLOT.unpack(result.data)
+            if addr == _NULL:
+                self.gets_missing += 1
+                if self._miss_counter is not None:
+                    self._miss_counter.inc()
+                return RemoteReadOutcome(False, probes=probes)
+            if slot_key == key:
+                record = yield self.cache.read(addr, self.record_size)
+                if not record.ok:
+                    return RemoteReadOutcome(False, error=record.error,
+                                             probes=probes)
+                yield cpu.acquire()
+                yield self.env.timeout(self.completion_cost)
+                cpu.release()
+                _key, value = unpack_record(record.data)
+                self.gets_probed += 1
+                if self._probe_counter is not None:
+                    self._probe_counter.inc()
+                return RemoteReadOutcome(True, value, probes=probes)
+            slot = (slot + 1) & mask
+        self.gets_missing += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
+        return RemoteReadOutcome(False, probes=self.capacity_slots)
+
+    def upsert(self, key: int, value: bytes, cpu: Resource):
+        """Process: insert or update one key.
+
+        Appends the record at the client-owned tail, *then* swings the
+        bucket's address word -- readers chasing the old word still land
+        on a complete record.  Returns False when the table is full or
+        the log overflows the cache.
+        """
+        if len(value) != self.value_bytes:
+            raise ValueError(
+                f"value is {len(value)} B, store expects {self.value_bytes}")
+        from repro.faster.address import pack_record
+        yield cpu.acquire()
+        yield self.env.timeout(self.issue_cost)
+        slot = self._start_slot(key)
+        cpu.release()
+        mask = self.capacity_slots - 1
+        for _ in range(self.capacity_slots):
+            result = yield self.cache.read(self._slot_offset(slot),
+                                           SLOT_BYTES)
+            if not result.ok:
+                return False
+            slot_key, addr = _SLOT.unpack(result.data)
+            if addr == _NULL or slot_key == key:
+                break
+            slot = (slot + 1) & mask
+        else:
+            return False
+        record_addr = self.tail
+        if record_addr + self.record_size > self.cache.capacity:
+            return False
+        self.tail = record_addr + self.record_size
+        written = yield self.cache.write(record_addr,
+                                         pack_record(key, value))
+        if not written.ok:
+            return False
+        swung = yield self.cache.write(self._slot_offset(slot),
+                                       _SLOT.pack(key, record_addr))
+        return bool(swung.ok)

@@ -8,10 +8,13 @@ summary.  Scenarios are pure functions of the seed: `python -m repro
 chaos <name>` and the determinism tests both go through
 :func:`run_scenario`.
 
-The four scenarios cover the §6 robustness matrix:
+The scenarios cover the §6 robustness matrix:
 
 * ``spot-churn``   -- Poisson evictions + hard kills against a backed
   cache with retries and auto-recovery (migrate / re-populate path);
+* ``spot-evict-programs`` -- notice-based evictions while dependent
+  GETs run as one-RTT verb programs: live migration vs the CAS-guarded
+  chase (zero lost acked writes, clean abort/fallback accounting);
 * ``evict-primary`` -- hard-kill the primary of a 2-way
   :class:`~repro.core.replication.ReplicatedCache` (failover path);
 * ``link-flap``    -- transient QP error storms the retry policy must
@@ -196,6 +199,113 @@ def _spot_churn(seed: int) -> ChaosReport:
     return churn_run(seed)
 
 
+def _spot_evict_programs(seed: int) -> ChaosReport:
+    """Spot evictions under one-RTT verb programs (migration safety).
+
+    Notice-based evictions only (no hard kills), so every region
+    migrates with its data intact, against a cache running dependent
+    GETs as remote-side verb programs.  Each probe writes a uniquely
+    tagged record, swings a pointer word at it, then dependent-reads it
+    back and verifies the payload byte for byte: a CAS-abort or revoked
+    region mid-program must fall back to the classic two-hop path (or a
+    client retry) transparently, and no acknowledged write may come
+    back wrong or lost.  The report carries program/abort/fallback
+    accounting plus the ``lost_acked_writes`` count the chaos test pins
+    to zero.
+    """
+    import struct
+
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, provisioning_delay_s=0.25,
+                            metrics=registry)
+    env = harness.env
+    client = harness.redy_client("chaos-programs-app")
+    cache = client.create(
+        CAPACITY, SLO, duration_s=3600.0, region_bytes=REGION,
+        file=_backing(CAPACITY),
+        retry_policy=RetryPolicy(max_attempts=4, attempt_timeout_s=50e-3),
+        auto_recover=True, use_verb_programs=True)
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    rng = harness.rngs.stream("faults")
+    duration_s = 6.0
+    draw = lambda: FaultSchedule.poisson_evictions(  # noqa: E731
+        rate_per_s=1.0, duration_s=duration_s, rng=rng,
+        start_at=0.5, notice_s=0.5, kill_fraction=0.0)
+    schedule = draw()
+    while not len(schedule):
+        schedule = draw()
+    injector.arm(schedule, cache=cache)
+
+    record_bytes = 256
+    n_regions = CAPACITY // REGION
+    counters = {"acked": 0, "verified": 0, "lost": 0, "i": 0}
+
+    def probe():
+        """Write -> pointer swing -> dependent read-back, as one probe."""
+        done = env.event()
+
+        def body():
+            index = counters["i"]
+            counters["i"] += 1
+            region = index % n_regions
+            pointer_addr = region * REGION + 64
+            record_addr = region * REGION + 4096
+            payload = bytes([(index + j) % 251 for j in range(record_bytes)])
+            started = env.now
+            wrote = yield cache.write(record_addr, payload)
+            if wrote.ok:
+                # The pointer word holds the record's *region-local*
+                # offset (what the remote chase dereferences).
+                swung = yield cache.write(pointer_addr,
+                                          struct.pack("<Q", 4096))
+                wrote = swung if not swung.ok else wrote
+            if not wrote.ok:
+                # Never acked: not a lost write, just an unavailable probe.
+                done.succeed(type(wrote)(ok=False, error=wrote.error,
+                                         latency=env.now - started))
+                return
+            counters["acked"] += 1
+            read = yield cache.dependent_read(pointer_addr, record_bytes)
+            if read.ok and read.data == payload:
+                counters["verified"] += 1
+            else:
+                counters["lost"] += 1
+                read = type(read)(
+                    ok=False,
+                    error=read.error or "acked write read back wrong")
+            done.succeed(type(read)(ok=read.ok, data=read.data,
+                                    error=read.error,
+                                    latency=env.now - started))
+
+        env.process(body(), name=f"chaos-programs-probe-{counters['i']}")
+        return done
+
+    stats = _ProbeStats(SLO.max_latency)
+    horizon = max(duration_s + 2.0, schedule.horizon + 2.0)
+    env.process(_probe_loop(env, probe, stats, interval_s=5e-3,
+                            until=horizon),
+                name="chaos-probe")
+    env.run(until=horizon + 1.0)
+
+    def metric(name: str) -> float:
+        value = registry.get(name)
+        return float(value.value) if value is not None else 0.0
+
+    return _finish(
+        "spot-evict-programs", seed, harness, injector, registry, stats,
+        {"migrations": float(len(cache.migrations)),
+         "migration_failures": float(cache.migration_failures),
+         "acked_writes": float(counters["acked"]),
+         "verified_reads": float(counters["verified"]),
+         "lost_acked_writes": float(counters["lost"]),
+         "programs": metric("engine.programs"),
+         "program_cas_aborts": metric("engine.program_cas_aborts"),
+         "program_fallbacks": metric("engine.program_fallbacks"),
+         "two_hop_reads": metric("engine.two_hop_reads")})
+
+
 def _evict_primary(seed: int) -> ChaosReport:
     """Kill the primary of a replicated cache; reads must fail over."""
     registry = MetricsRegistry()
@@ -352,6 +462,7 @@ def _shard_churn(seed: int) -> ChaosReport:
 
 SCENARIOS: Dict[str, Callable[[int], ChaosReport]] = {
     "spot-churn": _spot_churn,
+    "spot-evict-programs": _spot_evict_programs,
     "evict-primary": _evict_primary,
     "link-flap": _link_flap,
     "shard-churn": _shard_churn,

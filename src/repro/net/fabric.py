@@ -70,6 +70,12 @@ class Endpoint:
         #: it above 1 to model a throttled/overheating node; all outbound
         #: wire time stretches by this factor while it is raised.
         self.throttle = 1.0
+        #: Whether this NIC can execute chained verb programs as the
+        #: responder (see ``repro.net.programs``).  Heterogeneous fleets
+        #: have older NICs without chained-WQE support; posting a PROGRAM
+        #: at one completes in error and the data path falls back to the
+        #: classic two-hop sequence.
+        self.supports_programs = True
 
     def register(self, region: MemoryRegion) -> MemoryRegion:
         """Register a memory region with this NIC.

@@ -11,10 +11,17 @@ how RDMA surfaces transport errors through the completion queue.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.net.fabric import Endpoint
-from repro.net.memory import RdmaAccessError
+from repro.net.memory import AccessToken, RdmaAccessError
+from repro.net.programs import (
+    CAS_WORD_BYTES,
+    StepOp,
+    StepResult,
+    VerbProgram,
+    resolve_offset,
+)
 from repro.net.verbs import Completion, RdmaOp, WorkRequest
 from repro.obs.metrics import registry_of
 from repro.sim.kernel import Environment, Event
@@ -62,11 +69,18 @@ class QueuePair:
             self._ops_posted = metrics.counter("qp.ops_posted")
             self._error_completions = metrics.counter("qp.error_completions")
             self._backlog_depth = metrics.gauge("qp.backlog_depth")
+            self._programs_posted = metrics.counter("qp.programs_posted")
+            self._program_steps = metrics.counter("qp.program_steps")
+            self._program_cas_aborts = metrics.counter(
+                "qp.program_cas_aborts")
         else:
             self._wire_latency = None
             self._ops_posted = None
             self._error_completions = None
             self._backlog_depth = None
+            self._programs_posted = None
+            self._program_steps = None
+            self._program_cas_aborts = None
 
     @property
     def in_flight(self) -> int:
@@ -160,6 +174,40 @@ class QueuePair:
                 self._backlog_depth.set(len(self._backlog))
         return completion_event
 
+    def post_program(self, program: VerbProgram, token: AccessToken,
+                     context: object = None,
+                     payload_object: object = None) -> Event:
+        """Post a chained verb program as one work request.
+
+        The whole chain travels in one descriptor message, executes at
+        the remote NIC, and answers with one completion -- partial if a
+        step faulted or a CAS guard aborted the chain (see
+        :mod:`repro.net.programs`).  ``payload_object`` is delivered to
+        the target region's mailbox if the program lands any WRITE step
+        (batch correlation for ring-style submissions).
+        """
+        wr = WorkRequest(
+            RdmaOp.PROGRAM, token, 0, program.request_wire_bytes,
+            context=context, payload_object=payload_object, program=program)
+        return self.post(wr)
+
+    def post_many(self, wrs: Sequence[WorkRequest]) -> List[Event]:
+        """Doorbell-batched submission of several work requests.
+
+        One MMIO doorbell and one WQE-ring fetch cover the batch: the
+        first request pays the full per-message processing charge, every
+        follower the discounted one (``NicSpec.doorbell_batch_discount``).
+        Completions stay per-request, in post order, each carrying its
+        own ``context`` -- batch correlation survives the shared
+        doorbell.
+        """
+        events: List[Event] = []
+        for index, wr in enumerate(wrs):
+            if index:
+                wr.doorbell_batched = True
+            events.append(self.post(wr))
+        return events
+
     def _launch(self, wr: WorkRequest, completion_event: Event) -> None:
         self._in_flight += 1
         self.env.process(
@@ -195,8 +243,19 @@ class QueuePair:
                          self._error_completion(wr, "local endpoint down"))
             return
 
-        # NIC work-request processing on the requester.
-        yield env.timeout(nic.per_message_processing)
+        # NIC work-request processing on the requester.  Followers of a
+        # doorbell batch amortize the MMIO + WQE-ring fetch.
+        per_message = nic.per_message_processing
+        if wr.doorbell_batched:
+            per_message *= nic.doorbell_batch_discount
+        yield env.timeout(per_message)
+
+        if wr.op is RdmaOp.PROGRAM:
+            yield from self._execute_program(wr, completion_event)
+            return
+        if wr.op is RdmaOp.CAS:
+            yield from self._execute_cas(wr, completion_event)
+            return
 
         if wr.op is RdmaOp.WRITE:
             # Payload acquisition: inline rides in the WQE; otherwise the
@@ -251,6 +310,215 @@ class QueuePair:
             wr, completion_event,
             Completion(wr_id=wr.wr_id, op=wr.op, ok=True, data=data,
                        context=wr.context))
+
+    def _execute_program(self, wr: WorkRequest, completion_event: Event):
+        """Execute a chained verb program: one wire round trip plus
+        per-step remote-NIC service time.
+
+        The descriptor (plus inline WRITE operands) crosses the fabric
+        once; the remote NIC walks the chain charging
+        ``program_step_latency`` per step plus each step's DMA cost, all
+        folded into a *single* service timeout (one trigger->resume edge
+        per program -- the happens-before detector and the replay
+        sanitizer see program execution as one atomic remote event, not
+        a per-step flurry); one response returns the produced payloads.
+
+        Memory sampling: non-guard steps read/write at descriptor
+        arrival; CAS guards (``compare_from``) re-sample *after* the
+        service window, so a write that lands while the chain executes
+        is visible to them -- that is the self-verifying read that makes
+        dependent GETs safe against concurrent migration.  A fault or
+        guard mismatch aborts the chain and surfaces a partial
+        completion.
+        """
+        local = self.local
+        remote = self.remote
+        fabric = local.fabric
+        nic = fabric.profile.nic
+        env = self.env
+        program = wr.program
+        assert program is not None
+        if self._programs_posted is not None:
+            self._programs_posted.inc()
+
+        # Gather WRITE operands: small ones ride inline in the
+        # descriptor, larger ones are DMA-fetched before it leaves.
+        write_bytes = program.write_payload_bytes
+        if write_bytes and not nic.can_inline(write_bytes):
+            yield env.timeout(nic.dma_fetch(write_bytes))
+
+        yield from fabric.transmit(local, remote, program.request_wire_bytes)
+
+        if not remote.alive:
+            self._finish(wr, completion_event,
+                         self._error_completion(wr, "remote endpoint down"))
+            return
+        if not remote.supports_programs:
+            self._finish(wr, completion_event, self._error_completion(
+                wr, f"{remote.name} does not support verb programs"))
+            return
+        region = remote.find_region(wr.token.region_id)
+        if region is None:
+            self._finish(
+                wr, completion_event,
+                self._error_completion(
+                    wr, f"no region {wr.token.region_id} at {remote.name}"))
+            return
+
+        steps = program.steps
+        produced: List[Optional[bytes]] = [None] * len(steps)
+        results: Dict[int, StepResult] = {}
+        guards: List[tuple[int, object, int]] = []
+        service = 0.0
+        error: Optional[str] = None
+        cas_aborted = False
+        wrote = False
+
+        for index, step in enumerate(steps):
+            service += nic.program_step_latency
+            offset = resolve_offset(step, tuple(produced))
+            if step.op is StepOp.CAS and step.compare_from is not None:
+                # Self-verifying guard: evaluated after the service
+                # window, against then-current memory.
+                service += nic.dma_fetch(step.length)
+                guards.append((index, step, offset))
+                continue
+            try:
+                if step.op is StepOp.READ:
+                    if step.length:
+                        service += nic.dma_fetch(step.length)
+                    data = region.read(wr.token, offset, step.length)
+                    produced[index] = data
+                    results[index] = StepResult(index, step.op, True,
+                                                offset, data)
+                elif step.op is StepOp.WRITE:
+                    service += nic.rx_dma
+                    region.write(wr.token, offset, step.data,
+                                 length=step.length)
+                    wrote = True
+                    results[index] = StepResult(index, step.op, True, offset)
+                else:  # CAS against a static expected value
+                    service += nic.dma_fetch(step.length)
+                    current = region.read(wr.token, offset, step.length)
+                    matched = (current is None or step.compare is None
+                               or current == step.compare)
+                    produced[index] = current
+                    results[index] = StepResult(
+                        index, step.op, matched, offset, current,
+                        None if matched else "cas mismatch")
+                    if matched and step.data is not None:
+                        region.write(wr.token, offset, step.data)
+                    if not matched:
+                        cas_aborted = True
+                        error = f"program aborted by CAS at step {index}"
+                        break
+            except RdmaAccessError as exc:
+                error = str(exc)
+                results[index] = StepResult(index, step.op, False, offset,
+                                            None, error)
+                break
+
+        # The whole remote-side chain is one service interval.
+        yield env.timeout(service)
+
+        if error is None and not cas_aborted:
+            try:
+                # The region may have been revoked while the chain ran
+                # (migration finalized, VM reclaimed mid-program): the
+                # chain aborts and nothing is acked.
+                region.check_access(wr.token, 0, 0)
+                for index, step, offset in guards:
+                    current = region.read(wr.token, offset, step.length)
+                    expected = produced[step.compare_from]
+                    matched = (current is None or expected is None
+                               or current == expected)
+                    results[index] = StepResult(
+                        index, StepOp.CAS, matched, offset, current,
+                        None if matched else
+                        "cas guard: word changed mid-program")
+                    if matched and step.data is not None:
+                        region.write(wr.token, offset, step.data)
+                    if not matched:
+                        cas_aborted = True
+                        error = (f"program aborted by CAS guard at "
+                                 f"step {index}")
+                        break
+            except RdmaAccessError as exc:
+                error = str(exc)
+
+        step_results = tuple(results[i] for i in sorted(results))
+        executed = sum(1 for r in step_results if r.ok)
+        if self._program_steps is not None:
+            self._program_steps.inc(len(step_results))
+            if cas_aborted:
+                self._program_cas_aborts.inc()
+        ok = error is None and not cas_aborted
+
+        response_bytes = (program.response_wire_bytes if ok
+                          else program.response_bytes_through(executed))
+        yield from fabric.transmit(remote, local, response_bytes)
+
+        data: Optional[bytes] = None
+        delivered_read = False
+        for result in step_results:
+            if result.op is StepOp.READ and result.ok:
+                data = result.data
+                delivered_read = True
+        if delivered_read:
+            yield env.timeout(nic.rx_dma)
+        if ok and wrote:
+            region.deliver(wr.payload_object)
+
+        self._finish(wr, completion_event, Completion(
+            wr_id=wr.wr_id, op=RdmaOp.PROGRAM, ok=ok,
+            data=data if ok else None, error=error, context=wr.context,
+            steps_completed=executed, step_results=step_results,
+            cas_aborted=cas_aborted))
+
+    def _execute_cas(self, wr: WorkRequest, completion_event: Event):
+        """Standalone single-word compare-and-swap (e.g. remote-side
+        eviction marking).  ``wr.data`` is the swap value, ``wr.compare``
+        the expected word; the completion's ``data`` is the observed
+        original, with ``cas_aborted`` set on mismatch."""
+        local = self.local
+        remote = self.remote
+        fabric = local.fabric
+        nic = fabric.profile.nic
+        env = self.env
+
+        # Both operands ride inline in the work request.
+        yield from fabric.transmit(local, remote, 2 * CAS_WORD_BYTES)
+        if not remote.alive:
+            self._finish(wr, completion_event,
+                         self._error_completion(wr, "remote endpoint down"))
+            return
+        region = remote.find_region(wr.token.region_id)
+        if region is None:
+            self._finish(
+                wr, completion_event,
+                self._error_completion(
+                    wr, f"no region {wr.token.region_id} at {remote.name}"))
+            return
+        try:
+            yield env.timeout(nic.program_step_latency
+                              + nic.dma_fetch(CAS_WORD_BYTES))
+            current = region.read(wr.token, wr.remote_offset, CAS_WORD_BYTES)
+            matched = (current is None or wr.compare is None
+                       or current == wr.compare)
+            if matched and wr.data is not None:
+                region.write(wr.token, wr.remote_offset, wr.data)
+        except RdmaAccessError as exc:
+            self._finish(wr, completion_event,
+                         self._error_completion(wr, str(exc)))
+            return
+        yield from fabric.transmit(remote, local, CAS_WORD_BYTES)
+        yield env.timeout(nic.rx_dma)
+        if self._program_cas_aborts is not None and not matched:
+            self._program_cas_aborts.inc()
+        self._finish(wr, completion_event, Completion(
+            wr_id=wr.wr_id, op=RdmaOp.CAS, ok=matched, data=current,
+            error=None if matched else "cas mismatch", context=wr.context,
+            cas_aborted=not matched))
 
     def _error_completion(self, wr: WorkRequest, error: str) -> Completion:
         return Completion(wr_id=wr.wr_id, op=wr.op, ok=False, error=error,

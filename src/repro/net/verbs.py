@@ -4,15 +4,22 @@ Only the one-sided verbs exist at this layer.  Redy implements its
 two-sided request/response protocol with one-sided *writes* into message
 rings (paper §4.1: "Redy implements two-sided communications ... using
 one-sided RDMA writes, since they are faster").
+
+``PROGRAM`` work requests carry a :class:`~repro.net.programs.
+VerbProgram` -- a chain of dependent verbs executed at the remote NIC in
+one round trip (see :mod:`repro.net.programs`).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.net.memory import AccessToken
+
+if TYPE_CHECKING:
+    from repro.net.programs import StepResult, VerbProgram
 
 __all__ = ["Completion", "RdmaOp", "WorkRequest"]
 
@@ -22,6 +29,10 @@ class RdmaOp(enum.Enum):
 
     READ = "read"
     WRITE = "write"
+    #: Single-word compare-and-swap (guards; program building block).
+    CAS = "cas"
+    #: A chained verb program executed remotely (repro.net.programs).
+    PROGRAM = "program"
 
 
 @dataclass
@@ -54,6 +65,15 @@ class WorkRequest:
     #: counter keeps ticking between runs and leaks into process names,
     #: which the replay sanitizer flags as schedule divergence.
     wr_id: int = 0
+    #: The chained program this request carries (PROGRAM ops only).
+    program: Optional["VerbProgram"] = None
+    #: CAS only: expected word; ``data`` is the swap value.  ``None``
+    #: matches anything (size-only regions; unconditional exchange).
+    compare: Optional[bytes] = None
+    #: True when this WR was posted through :meth:`QueuePair.post_many`
+    #: behind another WR's doorbell: the NIC amortizes the MMIO write and
+    #: WQE-ring fetch, so followers pay a discounted processing charge.
+    doorbell_batched: bool = False
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
@@ -62,6 +82,9 @@ class WorkRequest:
             raise ValueError(
                 f"data length {len(self.data)} != payload_bytes "
                 f"{self.payload_bytes}")
+        if (self.op is RdmaOp.PROGRAM) != (self.program is not None):
+            raise ValueError(
+                "PROGRAM work requests carry a program; other ops must not")
 
     @property
     def is_write(self) -> bool:
@@ -70,7 +93,16 @@ class WorkRequest:
 
 @dataclass
 class Completion:
-    """Completion-queue entry for one work request."""
+    """Completion-queue entry for one work request.
+
+    For PROGRAM work requests, ``data`` holds the payload of the last
+    completed READ step (the record a dependent GET chased), while
+    ``step_results`` carries every step's remote-side outcome.  A chain
+    that aborted mid-program surfaces as a *partial* completion:
+    ``ok=False``, ``steps_completed < len(program)``, and
+    ``cas_aborted=True`` when a self-verifying guard (rather than an
+    access fault) stopped it.
+    """
 
     wr_id: int
     op: RdmaOp
@@ -82,3 +114,9 @@ class Completion:
     context: object = None
     #: Simulated timestamp when the completion was generated.
     completed_at: float = 0.0
+    #: PROGRAM only: how many steps ran before success/abort.
+    steps_completed: int = 0
+    #: PROGRAM only: per-step remote outcomes, in chain order.
+    step_results: Tuple["StepResult", ...] = field(default_factory=tuple)
+    #: PROGRAM only: a CAS guard observed a changed word and aborted.
+    cas_aborted: bool = False

@@ -34,9 +34,18 @@ def test_key_is_hex_sha256():
     {"warmup_batches": 5},
     {"extra_outstanding": 1},
     {"switch_hops": 3},
+    {"dependent_reads": True},
+    {"config": RdmaConfig(2, 2, 8, 4, use_verb_programs=True)},
 ])
 def test_key_covers_every_measurement_input(overrides):
     assert task(**overrides).cache_key() != task().cache_key()
+
+
+def test_cosmetic_fields_stay_out_of_the_key():
+    """Labels annotate progress output and the scheduler is unobservable
+    in results (§5h): neither may fragment the cache."""
+    assert task(label="dep-program-4096").cache_key() == task().cache_key()
+    assert task(scheduler="heap").cache_key() == task().cache_key()
 
 
 def test_key_rejects_unhashable_garbage():

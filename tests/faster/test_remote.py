@@ -1,0 +1,147 @@
+"""RemoteFasterStore: the remote-index FASTER read path over Redy."""
+
+import pytest
+
+from repro.core import Slo
+from repro.faster import RemoteFasterStore
+from repro.faster.address import unpack_record
+from repro.sim.resources import Resource
+from repro.workloads.scenarios import build_cluster
+
+CAPACITY = 1 << 20
+VALUE_BYTES = 32
+SLOTS = 64
+
+
+def make_store(*, use_verb_programs=True, capacity_slots=SLOTS):
+    harness = build_cluster(seed=2)
+    client = harness.redy_client("faster-remote")
+    slo = Slo(max_latency=1e-3, min_throughput=1e5,
+              record_size=VALUE_BYTES)
+    cache = client.create(CAPACITY, slo, duration_s=3600.0,
+                          region_bytes=CAPACITY, file=bytes(CAPACITY),
+                          use_verb_programs=use_verb_programs)
+    store = RemoteFasterStore(cache, capacity_slots=capacity_slots,
+                              value_bytes=VALUE_BYTES)
+    return harness.env, cache, store
+
+
+def run(env, gen):
+    return env.run_process(gen)
+
+
+class TestConstruction:
+    def test_slot_count_must_be_power_of_two(self):
+        env, cache, _ = make_store()
+        with pytest.raises(ValueError):
+            RemoteFasterStore(cache, capacity_slots=48,
+                              value_bytes=VALUE_BYTES)
+        with pytest.raises(ValueError):
+            RemoteFasterStore(cache, capacity_slots=4,
+                              value_bytes=VALUE_BYTES)
+
+    def test_table_must_leave_room_for_the_log(self):
+        env, cache, _ = make_store()
+        with pytest.raises(ValueError):
+            RemoteFasterStore(cache, capacity_slots=1 << 16,
+                              value_bytes=VALUE_BYTES)
+
+    def test_single_region_cache_required(self):
+        harness = build_cluster(seed=2)
+        client = harness.redy_client("faster-remote-multi")
+        slo = Slo(max_latency=1e-3, min_throughput=1e5,
+                  record_size=VALUE_BYTES)
+        cache = client.create(4 << 20, slo, duration_s=3600.0,
+                              region_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            RemoteFasterStore(cache, capacity_slots=SLOTS,
+                              value_bytes=VALUE_BYTES)
+
+
+class TestReadPath:
+    def test_loaded_key_hits_in_one_rtt(self):
+        env, _, store = make_store()
+        store.load(20)
+        cpu = Resource(env)
+        outcome = run(env, store.get(5, cpu))
+        assert outcome.found
+        assert outcome.one_rtt
+        assert outcome.value[:8] == (5).to_bytes(8, "little")
+        assert store.gets_one_rtt == 1
+        assert store.gets_probed == 0
+
+    def test_collision_falls_back_to_remote_probe(self):
+        env, _, store = make_store()
+        # Find two keys that hash to the same home slot: the second one
+        # is displaced by linear probing, so its optimistic chase fetches
+        # the *first* key's record and must detect the mismatch.
+        home = store._start_slot(0)
+        displaced = next(key for key in range(1, 10_000)
+                         if store._start_slot(key) == home)
+        store.load(1)
+
+        def value_of(_key):
+            return b"displaced-value!".ljust(VALUE_BYTES, b".")
+
+        cpu = Resource(env)
+        ok = run(env, store.upsert(displaced, value_of(None), cpu))
+        assert ok
+        outcome = run(env, store.get(displaced, cpu))
+        assert outcome.found
+        assert not outcome.one_rtt
+        assert outcome.probes >= 2
+        assert outcome.value == value_of(None)
+        assert store.gets_probed == 1
+
+    def test_missing_key_is_a_clean_miss(self):
+        env, _, store = make_store()
+        store.load(4)
+        # A key whose home slot is empty: the optimistic chase mismatches
+        # and the probe hits NULL immediately.
+        occupied = {store._start_slot(key) for key in range(4)}
+        missing = next(key for key in range(100, 10_000)
+                       if store._start_slot(key) not in occupied)
+        cpu = Resource(env)
+        outcome = run(env, store.get(missing, cpu))
+        assert not outcome.found
+        assert outcome.error is None
+        assert store.gets_missing == 1
+
+    def test_upsert_then_get_round_trips(self):
+        env, _, store = make_store()
+        store.load(2)
+        cpu = Resource(env)
+        value = b"v" * VALUE_BYTES
+        assert run(env, store.upsert(77, value, cpu))
+        outcome = run(env, store.get(77, cpu))
+        assert outcome.found
+        assert outcome.value == value
+
+    def test_update_existing_key_swings_the_slot(self):
+        env, _, store = make_store()
+        store.load(3)
+        cpu = Resource(env)
+        new = b"u" * VALUE_BYTES
+        old_tail = store.tail
+        assert run(env, store.upsert(1, new, cpu))
+        assert store.tail == old_tail + store.record_size  # appended
+        outcome = run(env, store.get(1, cpu))
+        assert outcome.found
+        assert outcome.value == new
+
+    def test_program_transport_is_faster_on_hits(self):
+        def timed_get(use_verb_programs):
+            env, _, store = make_store(
+                use_verb_programs=use_verb_programs)
+            store.load(20)
+            cpu = Resource(env)
+
+            def proc(env):
+                started = env.now
+                outcome = yield from store.get(7, cpu)
+                assert outcome.found and outcome.one_rtt
+                return env.now - started
+
+            return run(env, proc(env))
+
+        assert timed_get(True) < timed_get(False)

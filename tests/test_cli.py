@@ -233,3 +233,23 @@ def test_sanitize_cli_demo_nondet_diverges(capsys):
     _DEMO_LEAK["runs"] = 0
     assert main(["sanitize", "demo-nondet"]) == 1
     assert "DIVERGED" in capsys.readouterr().out
+
+
+def test_verbs_smoke_passes_and_reports(capsys):
+    assert main(["verbs", "--smoke", "--ops", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "verbs smoke OK" in out
+    assert "digests equal" in out
+    assert "replay bit-identical" in out
+
+
+def test_verbs_json_blob_carries_both_transports(capsys):
+    import json
+
+    assert main(["verbs", "--ops", "12", "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["two_hop"]["digest"] == blob["program"]["digest"]
+    assert blob["program"]["programs"] == 12
+    assert blob["two_hop"]["two_hop_reads"] == 12
+    assert (blob["program"]["read_latency_mean_us"]
+            < blob["two_hop"]["read_latency_mean_us"])
