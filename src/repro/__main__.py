@@ -483,6 +483,231 @@ def cmd_shard(seed: int, shards: int, ops: int, replication: int,
     return 0
 
 
+def _tenants_run(seed: int, ops: int, abusive: bool, kill: bool) -> dict:
+    """One deterministic multi-tenant run; pure in (args).
+
+    Three tenants (premium / standard / scavenger) share a 3-member
+    replication=1 fleet through a :class:`~repro.tenant.TenantTier`.
+    ``abusive`` adds an open-loop scavenger flood at 10x its admitted
+    rate; ``kill`` hard-kills one member mid-run and then verifies that
+    every acknowledged write is still readable after recovery.
+    """
+    from repro.core import Slo
+    from repro.obs.metrics import MetricsRegistry
+    from repro.shard import ShardRouter
+    from repro.tenant import TenantSpec, TenantTier
+    from repro.workloads.scenarios import build_cluster
+
+    region = 1 << 18
+    capacity = 2 * region
+    record = 64
+    namespace = 64 * 1024
+    slo = Slo(max_latency=1e-3, min_throughput=1e5, record_size=512)
+
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    env = harness.env
+    client = harness.redy_client("tenant-cli")
+    members = {
+        f"s{i:02d}": client.create(capacity, slo, duration_s=3600.0,
+                                   region_bytes=region)
+        for i in range(3)
+    }
+    router = ShardRouter(env, members, slot_bytes=1 << 12, replication=1)
+    tier = TenantTier(env, router)
+    tier.register(TenantSpec(name="prem", namespace_bytes=namespace,
+                             rate_per_s=400_000.0, burst=64.0,
+                             slo_class="premium", probe_interval_s=2e-3))
+    tier.register(TenantSpec(name="std", namespace_bytes=namespace,
+                             rate_per_s=200_000.0, burst=32.0,
+                             slo_class="standard", probe_interval_s=2e-3))
+    scav_rate = 20_000.0
+    tier.register(TenantSpec(name="scav", namespace_bytes=namespace,
+                             rate_per_s=scav_rate, burst=16.0,
+                             max_queue=32, slo_class="scavenger",
+                             probe_interval_s=2e-3))
+    seed_bytes = bytes(range(256)) * (namespace // 256)
+    for name in ("prem", "std", "scav"):
+        tier.load(name, 0, seed_bytes)
+
+    workers_per_tenant = 4
+    latencies = {"prem": [], "std": []}
+    acked = {"prem": {}, "std": {}}
+    progress = {"done": 0, "killed": False, "live_workers": 0}
+    kill_after = ops  # half of the two tracked tenants' combined ops
+
+    def worker(tenant: str, index: int, rng, n_ops: int):
+        progress["live_workers"] += 1
+        records = namespace // record
+        for op in range(n_ops):
+            rec = int(rng.integers(0, records))
+            # Disjoint per-worker address sets: last-acked is unique.
+            rec = (rec - rec % workers_per_tenant + index) % records
+            addr = rec * record
+            if op % 4 == 0:
+                payload = bytes([(index * 37 + op) % 251]) * record
+                result = yield tier.write(tenant, addr, payload)
+                if result.ok:
+                    acked[tenant][addr] = payload
+            else:
+                result = yield tier.read(tenant, addr, record)
+                if result.ok:
+                    latencies[tenant].append(result.latency)
+            progress["done"] += 1
+            if (kill and not progress["killed"]
+                    and progress["done"] >= kill_after):
+                progress["killed"] = True
+                for vm in list(members["s01"].allocation.vms):
+                    if vm.alive:
+                        harness.allocator.fail(vm)
+        progress["live_workers"] -= 1
+
+    def abusive_load():
+        # Open loop at 10x the scavenger's admitted rate: nothing
+        # awaits the results, so shedding is what bounds the queue.
+        interval = 1.0 / (10.0 * scav_rate)
+        rng = harness.rngs.stream("tenant-cli-abusive")
+        while progress["live_workers"] > 0:
+            addr = int(rng.integers(0, namespace // record)) * record
+            tier.write("scav", addr, b"\xab" * record)
+            yield env.timeout(interval)
+
+    per_worker = max(1, ops // workers_per_tenant)
+    for tenant in ("prem", "std"):
+        for index in range(workers_per_tenant):
+            env.process(
+                worker(tenant, index,
+                       harness.rngs.stream(f"tenant-cli:{tenant}:{index}"),
+                       per_worker),
+                name=f"tenant-cli:{tenant}:{index}")
+    if abusive:
+        env.process(abusive_load(), name="tenant-cli-abusive")
+    env.run()
+
+    def settle_and_verify():
+        while (router._membership_tail is not None
+               and not router._membership_tail.processed):
+            yield router._membership_tail
+        while any(tier.tenant(n).degraded for n in tier.tenants):
+            yield env.timeout(1e-3)
+        lost = 0
+        for tenant in ("prem", "std"):
+            for addr, payload in sorted(acked[tenant].items()):
+                result = yield tier.read(tenant, addr, record)
+                if not (result.ok and result.data == payload):
+                    lost += 1
+        return lost
+
+    lost = env.run_process(settle_and_verify())
+
+    def p99(values):
+        ordered = sorted(values)
+        return ordered[int(0.99 * (len(ordered) - 1))] if ordered else 0.0
+
+    blob = {
+        "schema": "repro.tenants/v1",
+        "seed": seed,
+        "ops": ops,
+        "abusive": abusive,
+        "kill": kill,
+        "premium_read_p99_s": p99(latencies["prem"]),
+        "standard_read_p99_s": p99(latencies["std"]),
+        "acked_writes_checked": sum(len(a) for a in acked.values()),
+        "acked_writes_lost": lost,
+        "members_after": router.members,
+        "tenants": {name: tier.stats(name) for name in tier.tenants},
+        "metrics": registry.snapshot(),
+    }
+    if kill and router.reports:
+        blob["rebalance"] = router.reports[-1].to_dict()
+    return blob
+
+
+def cmd_tenants(seed: int, ops: int, smoke: bool, as_json: bool,
+                out: str | None) -> int:
+    """Drive mixed-SLO tenants through the multi-tenant serving tier.
+
+    The default run reports per-tenant admission/latency under an
+    abusive scavenger; ``--smoke`` is the CI gate: a quiet baseline vs
+    an abusive run must keep the premium p99 within budget, a mid-run
+    member kill must degrade to fail-open with zero lost acked writes
+    and re-promote, and a same-seed replay must be bit-identical.
+    """
+    if smoke:
+        ops = min(ops, 2400)
+        #: Budget: the abusive tenant may not move the quiet premium
+        #: tenant's read p99 by more than this factor (plus a 2 us
+        #: absolute floor for tiny-sample jitter).
+        budget_factor = 1.5
+        baseline = _tenants_run(seed, ops, abusive=False, kill=False)
+        noisy = _tenants_run(seed, ops, abusive=True, kill=False)
+        chaos = _tenants_run(seed, ops, abusive=True, kill=True)
+        replay = _tenants_run(seed, ops, abusive=True, kill=True)
+
+        failures = []
+        base_p99 = baseline["premium_read_p99_s"]
+        noisy_p99 = noisy["premium_read_p99_s"]
+        budget = max(base_p99 * budget_factor, base_p99 + 2e-6)
+        if noisy_p99 > budget:
+            failures.append(
+                f"noisy-neighbor moved premium read p99 "
+                f"{base_p99 * 1e6:.2f} -> {noisy_p99 * 1e6:.2f} us "
+                f"(budget {budget * 1e6:.2f} us)")
+        if not noisy["tenants"]["scav"]["shed"]:
+            failures.append("abusive scavenger was never shed")
+        if noisy["tenants"]["prem"]["shed"]:
+            failures.append("quiet premium tenant was shed")
+        prem_chaos = chaos["tenants"]["prem"]
+        if not prem_chaos["degradations"]:
+            failures.append("member kill did not degrade the premium "
+                            "tenant")
+        if prem_chaos["degradations"] > prem_chaos["repromotions"]:
+            failures.append("premium tenant was not re-promoted")
+        if not prem_chaos["fail_open_reads"]:
+            failures.append("no reads failed open during degradation")
+        if chaos["acked_writes_lost"]:
+            failures.append(f"{chaos['acked_writes_lost']} acknowledged "
+                            "writes lost across the kill")
+        if len(chaos["members_after"]) != 2:
+            failures.append("victim still on the ring")
+        if replay["metrics"] != chaos["metrics"]:
+            failures.append("same-seed replay diverged")
+        for line in failures:
+            print(f"FAIL: {line}")
+        if not failures:
+            print(f"tenants smoke OK: premium p99 "
+                  f"{base_p99 * 1e6:.2f} -> {noisy_p99 * 1e6:.2f} us under "
+                  f"10x abuse (budget {budget * 1e6:.2f} us), "
+                  f"{noisy['tenants']['scav']['shed']} sheds, kill "
+                  f"survived with 0 lost acks and "
+                  f"{prem_chaos['repromotions']} re-promotion(s), "
+                  "replay bit-identical")
+        if out:
+            pathlib.Path(out).write_text(
+                json.dumps(chaos, indent=2, sort_keys=True) + "\n")
+        return 1 if failures else 0
+
+    blob = _tenants_run(seed, ops, abusive=True, kill=False)
+    if out:
+        pathlib.Path(out).write_text(
+            json.dumps(blob, indent=2, sort_keys=True) + "\n")
+    if as_json:
+        print(json.dumps(blob, indent=2, sort_keys=True))
+        return 0
+    print(f"== tenant tier (seed {seed}) ==")
+    print(f"premium read p99 {blob['premium_read_p99_s'] * 1e6:.2f} us   "
+          f"standard read p99 {blob['standard_read_p99_s'] * 1e6:.2f} us")
+    print(f"{'tenant':>8} {'admitted':>9} {'delayed':>8} {'shed':>8} "
+          f"{'fail-open':>9} {'degraded':>8}")
+    for name, stats in sorted(blob["tenants"].items()):
+        print(f"{name:>8} {stats['admitted']:>9} {stats['delayed']:>8} "
+              f"{stats['shed']:>8} {stats['fail_open_reads']:>9} "
+              f"{stats['degradations']:>8}")
+    if out:
+        print(f"report written to {out}")
+    return 0
+
+
 def _verbs_run(seed: int, ops: int, programs: bool) -> dict:
     """One dependent-GET pass on a fresh testbed; pure in (args)."""
     import hashlib
@@ -663,7 +888,8 @@ def cmd_sanitize(workload: str, seed: int, fmt: str, smoke: bool) -> int:
             print(f"{name:>18}  {doc}")
         return 0
     if smoke:
-        names = ["measure", "measure-programs", "chaos-spot-churn"]
+        names = ["measure", "measure-programs", "measure-tenants",
+                 "chaos-spot-churn"]
     elif workload not in WORKLOADS:
         print(f"unknown sanitize workload {workload!r}; "
               f"try `python -m repro sanitize list`")
@@ -775,6 +1001,19 @@ def main(argv: list[str] | None = None) -> int:
                        help="emit the full report as one JSON blob")
     shard.add_argument("--out", default=None,
                        help="also write the JSON report to this file")
+    tenants = sub.add_parser(
+        "tenants",
+        help="drive mixed-SLO tenants through the serving tier")
+    tenants.add_argument("--seed", type=int, default=0)
+    tenants.add_argument("--ops", type=int, default=2400,
+                         help="tracked ops per tenant (prem + std)")
+    tenants.add_argument("--smoke", action="store_true",
+                         help="CI gate: isolation + degradation "
+                              "fail-open + determinism checks")
+    tenants.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the full report as one JSON blob")
+    tenants.add_argument("--out", default=None,
+                         help="also write the JSON report to this file")
     verbs = sub.add_parser(
         "verbs",
         help="A/B dependent GETs: two-hop vs one-RTT verb programs")
@@ -834,6 +1073,9 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_shard(args.seed, args.shards, args.ops,
                              args.replication, args.no_hotkeys,
                              args.smoke, args.as_json, args.out)
+        if args.command == "tenants":
+            return cmd_tenants(args.seed, args.ops, args.smoke,
+                               args.as_json, args.out)
         if args.command == "verbs":
             return cmd_verbs(args.seed, args.ops, args.smoke, args.as_json)
         if args.command == "lint":

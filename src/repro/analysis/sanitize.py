@@ -357,6 +357,19 @@ def _workload_chaos(seed: int) -> None:
     run_scenario("spot-churn", seed=seed)
 
 
+def _workload_tenants(seed: int) -> None:
+    """The noisy-neighbor multi-tenant scenario (repro.tenant).
+
+    Exercises the serving tier end to end under the replay sanitizer:
+    token-bucket admission with shedding, weighted slot scheduling, a
+    mid-run region kill with degradation fail-open, and the recovery
+    flush must all trace identically across runs.
+    """
+    from repro.faults import run_scenario
+
+    run_scenario("noisy-neighbor", seed=seed)
+
+
 def _workload_programs(seed: int) -> None:
     """A dependent-read measurement with verb programs enabled.
 
@@ -404,6 +417,7 @@ def _workload_nondet_demo(seed: int) -> None:
 WORKLOADS: Dict[str, Callable[[int], Any]] = {
     "measure": _workload_measure,
     "measure-programs": _workload_programs,
+    "measure-tenants": _workload_tenants,
     "chaos-spot-churn": _workload_chaos,
     "demo-nondet": _workload_nondet_demo,
 }

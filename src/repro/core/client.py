@@ -52,6 +52,14 @@ class CacheIoResult:
     #: Extra attempts the retry layer made before this result (0 when the
     #: first attempt answered).
     retries: int = 0
+    #: Admission-control shed: seconds after which the caller should
+    #: retry (``math.inf`` when the tenant's bucket can never refill).
+    #: ``None`` everywhere outside the serving tier's shed path.
+    retry_after: Optional[float] = None
+    #: Which layer produced the bytes: ``"cache"`` for the remote data
+    #: path, ``"backing"`` when the serving tier failed open to the
+    #: tenant's local FASTER mirror.
+    served_by: str = "cache"
 
 
 @dataclass(frozen=True)
@@ -265,17 +273,43 @@ class RedyCache:
     # ------------------------------------------------------------------
 
     def read(self, addr: int, size: int,
-             callback: Optional[Callable[[CacheIoResult], None]] = None
-             ) -> Event:
+             callback: Optional[Callable[[CacheIoResult], None]] = None,
+             *, tenant: Optional[str] = None) -> Event:
         """Asynchronous read; the returned event fires with a
-        :class:`CacheIoResult` whose ``data`` holds ``size`` bytes."""
-        return self._start_io(True, addr, size, None, callback)
+        :class:`CacheIoResult` whose ``data`` holds ``size`` bytes.
+        ``tenant`` tags the op for per-tenant engine accounting."""
+        return self._start_io(True, addr, size, None, callback,
+                              tenant=tenant)
 
     def write(self, addr: int, data: bytes,
-              callback: Optional[Callable[[CacheIoResult], None]] = None
-              ) -> Event:
+              callback: Optional[Callable[[CacheIoResult], None]] = None,
+              *, tenant: Optional[str] = None) -> Event:
         """Asynchronous write of ``data`` at ``addr``."""
-        return self._start_io(False, addr, len(data), data, callback)
+        return self._start_io(False, addr, len(data), data, callback,
+                              tenant=tenant)
+
+    def cas(self, addr: int, compare: Optional[bytes], swap: bytes,
+            callback: Optional[Callable[[CacheIoResult], None]] = None
+            ) -> Event:
+        """Asynchronous single-word compare-and-swap at ``addr``.
+
+        The remote NIC atomically compares the 8-byte word at ``addr``
+        against ``compare`` and, on a match, stores ``swap``.  The result
+        carries the *observed original word* in ``data`` either way; a
+        mismatch completes with ``ok=False`` and ``error="cas mismatch"``
+        so optimistic callers (server-side eviction marking, lock words)
+        can re-read and retry.  ``compare=None`` swaps unconditionally.
+        """
+        if len(swap) != 8 or (compare is not None and len(compare) != 8):
+            raise ValueError("cas operates on one 8-byte word")
+        if self.deleted:
+            raise CacheDeletedError("cache was deleted")
+        done = self.env.event()
+        if callback is not None:
+            done._add_callback(lambda event: callback(event.value))
+        self.env.process(self._cas_io(addr, compare, swap, done),
+                         name=f"redy-io-c@{addr}")
+        return done
 
     def dependent_read(self, pointer_addr: int, size: int,
                        callback: Optional[Callable[[CacheIoResult], None]]
@@ -298,7 +332,8 @@ class RedyCache:
     def _start_io(self, is_read: bool, addr: int, size: int,
                   data: Optional[bytes],
                   callback: Optional[Callable],
-                  dependent: bool = False) -> Event:
+                  dependent: bool = False,
+                  tenant: Optional[str] = None) -> Event:
         if self.deleted:
             raise CacheDeletedError("cache was deleted")
         done = self.env.event()
@@ -310,18 +345,19 @@ class RedyCache:
             # Fail-fast default: no wrapper process on the hot path.
             self.env.process(
                 self._io(is_read, addr, size, data, done,
-                         dependent=dependent),
+                         dependent=dependent, tenant=tenant),
                 name=f"redy-io-{kind}@{addr}")
         else:
             self.env.process(
                 self._io_with_retry(is_read, addr, size, data, done,
-                                    dependent=dependent),
+                                    dependent=dependent, tenant=tenant),
                 name=f"redy-io-retry-{kind}@{addr}")
         return done
 
     def _io_with_retry(self, is_read: bool, addr: int, size: int,
                        data: Optional[bytes], done: Event,
-                       dependent: bool = False):
+                       dependent: bool = False,
+                       tenant: Optional[str] = None):
         """Drive :meth:`_io` attempts under the cache's retry policy.
 
         Capped exponential backoff between attempts; an optional
@@ -345,7 +381,7 @@ class RedyCache:
             kind = "d" if dependent else ("r" if is_read else "w")
             self.env.process(
                 self._io(is_read, addr, size, data, inner,
-                         dependent=dependent),
+                         dependent=dependent, tenant=tenant),
                 name=f"redy-io-{kind}@{addr}#{attempt}")
             if policy.attempt_timeout_s is None:
                 result = yield inner
@@ -368,7 +404,8 @@ class RedyCache:
         done.succeed(result)
 
     def _io(self, is_read: bool, addr: int, size: int,
-            data: Optional[bytes], done: Event, dependent: bool = False):
+            data: Optional[bytes], done: Event, dependent: bool = False,
+            tenant: Optional[str] = None):
         if dependent:
             yield from self._dependent_io(addr, size, done)
             return
@@ -392,7 +429,7 @@ class RedyCache:
                                fragment.buffer_offset + fragment.length]
             op = EngineOp(
                 is_read=is_read, size=fragment.length, token=mapping.token,
-                offset=fragment.offset, data=payload,
+                offset=fragment.offset, data=payload, tenant=tenant,
                 completion=self.env.event())
             yield self.env.timeout(self.path.submission_overhead())
             yield self.path.submit(op)
@@ -457,6 +494,38 @@ class RedyCache:
             return
         done.succeed(CacheIoResult(ok=True, data=result.data,
                                    latency=self.env.now - start))
+
+    def _cas_io(self, addr: int, compare: Optional[bytes], swap: bytes,
+                done: Event):
+        """One standalone compare-and-swap: translate the 8-byte word,
+        post a single CAS op, and pass the observed original through --
+        even on a mismatch, which callers treat as data, not failure."""
+        start = self.env.now
+        try:
+            fragments = self.table.translate(addr, 8)
+        except AddressError as exc:
+            done.succeed(CacheIoResult(ok=False, error=str(exc)))
+            return
+        if len(fragments) != 1:
+            done.succeed(CacheIoResult(
+                ok=False, error="cas: word spans regions"))
+            return
+        fragment = fragments[0]
+        gate = self.table.write_gate(fragment.region_index)
+        if gate is not None:
+            yield gate  # §6.2: paused until the region migrates
+        # Re-resolve the mapping: it may have flipped while we waited.
+        mapping = self.table.region(fragment.region_index)
+        op = EngineOp(
+            is_read=False, size=8, token=mapping.token,
+            offset=fragment.offset, data=swap, cas=True, compare=compare,
+            completion=self.env.event())
+        yield self.env.timeout(self.path.submission_overhead())
+        yield self.path.submit(op)
+        result = yield op.completion
+        done.succeed(CacheIoResult(
+            ok=result.ok, data=result.data, error=result.error,
+            latency=self.env.now - start))
 
     def populate(self, file: bytes) -> None:
         """Synchronously load a prefix of ``file`` (Create's file param).

@@ -136,6 +136,10 @@ class CacheDataPath:
                 "engine.program_fallbacks")
             self._cas_abort_counter = metrics.counter(
                 "engine.program_cas_aborts")
+            self._cas_ops_counter = metrics.counter("engine.cas_ops")
+            self._cas_mismatch_counter = metrics.counter(
+                "engine.cas_mismatches")
+            self._tenant_ops_family = metrics.counter("engine.tenant_ops")
         else:
             self._op_latency = None
             self._credit_wait = None
@@ -147,6 +151,9 @@ class CacheDataPath:
             self._two_hop_counter = None
             self._fallback_counter = None
             self._cas_abort_counter = None
+            self._cas_ops_counter = None
+            self._cas_mismatch_counter = None
+            self._tenant_ops_family = None
         for thread in self.threads:
             env.process(self._completion_loop(thread),
                         name=f"redy-client:{client_endpoint.name}:"
@@ -270,6 +277,17 @@ class CacheDataPath:
                 self._dependent_read(thread, connection, op),
                 name=f"redy-client:{self.endpoint.name}:"
                      f"t{thread.index}:dependent-read")
+            return self.env.timeout(0)
+        if op.cas:
+            # Standalone CAS: like dependent reads, atomics never enter
+            # the message-ring batching protocol -- the NIC executes the
+            # compare-and-swap as a single verb on its own doorbell.
+            if op.token is None:
+                raise EngineError("CAS ops need a region token")
+            self.env.process(
+                self._cas_op(thread, connection, op),
+                name=f"redy-client:{self.endpoint.name}:"
+                     f"t{thread.index}:cas")
             return self.env.timeout(0)
         return connection.batch_ring.put(op)
 
@@ -459,6 +477,45 @@ class CacheDataPath:
             ok=completion.ok, data=completion.data, error=completion.error,
             latency=env.now - op.enqueued_at))
 
+    def _cas_op(self, thread: _ClientThread, connection: _Connection,
+                op: EngineOp):
+        """One standalone compare-and-swap (server-side eviction marking).
+
+        The QP executes the verb remotely and atomically; a mismatch is
+        not a transport failure -- it completes with ``ok=False``,
+        ``error="cas mismatch"`` and the observed original word in
+        ``data``, which is exactly what optimistic callers need to
+        re-read and retry.
+        """
+        env = self.env
+        cpu, nic = self.profile.cpu, self.profile.nic
+        credit_wait_started = env.now
+        yield connection.credits.get()
+        if self._credit_wait is not None:
+            self._credit_wait.observe(env.now - credit_wait_started)
+
+        yield thread.cpu.acquire()
+        work = cpu.batch_prepare + nic.doorbell + cpu.client_per_op
+        yield env.timeout(work * self._noise())
+        thread.cpu.release()
+
+        if self._cas_ops_counter is not None:
+            self._cas_ops_counter.inc()
+        completion = yield connection.qp.post(WorkRequest(
+            RdmaOp.CAS, op.token, op.offset, op.size, data=op.data,
+            compare=op.compare))
+        if completion.cas_aborted and self._cas_mismatch_counter is not None:
+            self._cas_mismatch_counter.inc()
+
+        yield thread.cpu.acquire()
+        work = nic.completion_poll + cpu.callback
+        yield env.timeout(work * self._noise())
+        thread.cpu.release()
+        connection.credits.try_put(object())
+        self._finish(op, OpResult(
+            ok=completion.ok, data=completion.data, error=completion.error,
+            latency=env.now - op.enqueued_at))
+
     def _two_hop_read(self, thread: _ClientThread, connection: _Connection,
                       op: EngineOp):
         """The classic dependent GET: READ the pointer word, reap it,
@@ -571,6 +628,10 @@ class CacheDataPath:
                 self._failed_counter.inc(op.weight)
         if self._op_latency is not None:
             self._op_latency.observe(result.latency)
+        if op.tenant is not None and self._tenant_ops_family is not None:
+            # The family caches its children, so steady-state accounting
+            # is one dict hit plus an attribute add per op.
+            self._tenant_ops_family.labels(tenant=op.tenant).inc(op.weight)
         if op.completion is not None and not op.completion.triggered:
             op.completion.succeed(result)
 

@@ -94,16 +94,24 @@ class RemoteFasterStore:
         self.gets_one_rtt = 0
         self.gets_probed = 0
         self.gets_missing = 0
+        self.evictions = 0
+        self.evict_races = 0
         metrics = registry_of(self.env)
         if metrics is not None:
             self._one_rtt_counter = metrics.counter("faster.remote.one_rtt")
             self._probe_counter = metrics.counter(
                 "faster.remote.probe_fallbacks")
             self._miss_counter = metrics.counter("faster.remote.misses")
+            self._evict_counter = metrics.counter(
+                "faster.remote.cas_evictions")
+            self._evict_race_counter = metrics.counter(
+                "faster.remote.evict_races")
         else:
             self._one_rtt_counter = None
             self._probe_counter = None
             self._miss_counter = None
+            self._evict_counter = None
+            self._evict_race_counter = None
 
     # ------------------------------------------------------------------
 
@@ -201,6 +209,13 @@ class RemoteFasterStore:
                                          probes=probes)
             slot_key, addr = _SLOT.unpack(result.data)
             if addr == _NULL:
+                if slot_key != 0 and slot_key != key:
+                    # Tombstone: another key's record was evicted here
+                    # (address word swung to NULL, key preserved).  The
+                    # probe chain continues past it -- only a pristine
+                    # (0, NULL) slot terminates the chain.
+                    slot = (slot + 1) & mask
+                    continue
                 self.gets_missing += 1
                 if self._miss_counter is not None:
                     self._miss_counter.inc()
@@ -223,6 +238,64 @@ class RemoteFasterStore:
         if self._miss_counter is not None:
             self._miss_counter.inc()
         return RemoteReadOutcome(False, probes=self.capacity_slots)
+
+    def evict(self, key: int, cpu: Resource, max_races: int = 4):
+        """Process: server-side eviction marking via a standalone CAS.
+
+        Finds the key's bucket slot with remote reads, then atomically
+        swings the slot's *address word* from the observed record
+        address to NULL -- one remote CAS, no read-modify-write window.
+        The key stays in the slot as a tombstone, so probe chains for
+        displaced keys survive the mark and a later upsert can reuse the
+        slot.  A concurrent upsert that moves the record between the
+        observation and the CAS surfaces as a mismatch; the mark retries
+        against the fresh address up to ``max_races`` times.
+
+        Returns True when the record was marked evicted, False when the
+        key is absent (or was re-upserted faster than ``max_races``).
+        Key 0 is not evictable: its tombstone would be indistinguishable
+        from a pristine empty slot and would break probe chains.
+        """
+        if key == 0:
+            raise ValueError("key 0 cannot be evicted (tombstone would "
+                             "look like an empty slot)")
+        yield cpu.acquire()
+        yield self.env.timeout(self.issue_cost)
+        slot = self._start_slot(key)
+        cpu.release()
+        mask = self.capacity_slots - 1
+        for _ in range(self.capacity_slots):
+            result = yield self.cache.read(self._slot_offset(slot),
+                                           SLOT_BYTES)
+            if not result.ok:
+                return False
+            slot_key, addr = _SLOT.unpack(result.data)
+            if slot_key == key:
+                break
+            if addr == _NULL and slot_key == 0:
+                return False  # pristine chain end: key absent
+            slot = (slot + 1) & mask
+        else:
+            return False
+        for _ in range(max_races + 1):
+            if addr == _NULL:
+                return False  # already evicted (or never present)
+            swung = yield self.cache.cas(self._slot_offset(slot) + 8,
+                                         _WORD.pack(addr), _WORD.pack(_NULL))
+            if swung.ok:
+                self.evictions += 1
+                if self._evict_counter is not None:
+                    self._evict_counter.inc()
+                return True
+            # CAS mismatch: a concurrent upsert swung the word.  The
+            # completion carries the observed original -- retry on it.
+            self.evict_races += 1
+            if self._evict_race_counter is not None:
+                self._evict_race_counter.inc()
+            if swung.data is None:
+                return False
+            addr = _WORD.unpack(swung.data)[0]
+        return False
 
     def upsert(self, key: int, value: bytes, cpu: Resource):
         """Process: insert or update one key.

@@ -460,11 +460,104 @@ def _shard_churn(seed: int) -> ChaosReport:
                         else 0.0)})
 
 
+def _noisy_neighbor(seed: int) -> ChaosReport:
+    """An abusive tenant floods the serving tier; a region dies mid-run.
+
+    A 3-member replication=1 fleet serves two tenants through a
+    :class:`~repro.tenant.tier.TenantTier`: a quiet ``premium`` tenant
+    probed continuously, and a ``scavenger`` tenant offering 10x its
+    admitted rate in an open loop.  At t=1 s every VM of one member is
+    hard-killed.  The tier must (a) shed the abusive tenant's excess
+    deterministically instead of queueing it, (b) keep the premium
+    probes answered throughout -- failing open to the backing mirror
+    while regions are lost -- and (c) re-promote degraded tenants once
+    the ring settles.  The summary carries the probe availability, the
+    shed counts, and the degradation round-trips.
+    """
+    from repro.shard import ShardRouter
+    from repro.tenant import TenantSpec, TenantTier
+
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    env = harness.env
+    client = harness.redy_client("chaos-tenant-app")
+    capacity = 2 * REGION
+    members = {
+        f"s{i}": client.create(capacity, SLO, duration_s=3600.0,
+                               region_bytes=REGION)
+        for i in range(3)
+    }
+    router = ShardRouter(env, members, slot_bytes=1 << 14, replication=1)
+    tier = TenantTier(env, router)
+    namespace = 128 * 1024
+    quiet = tier.register(TenantSpec(
+        name="quiet", namespace_bytes=namespace, slo_class="premium",
+        rate_per_s=200_000.0, burst=64.0, probe_interval_s=5e-3))
+    abusive_rate = 20_000.0
+    tier.register(TenantSpec(
+        name="abusive", namespace_bytes=namespace, slo_class="scavenger",
+        rate_per_s=abusive_rate, burst=16.0, max_queue=32,
+        probe_interval_s=5e-3))
+    seed_bytes = _backing(namespace)
+    tier.load("quiet", 0, seed_bytes)
+    tier.load("abusive", 0, seed_bytes)
+
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    victim = members["s1"]
+    kills = FaultSchedule([
+        VmKill(at=1.0, vm_index=i)
+        for i in range(len(victim.allocation.vms))
+    ])
+    injector.arm(kills, cache=victim)
+
+    def abusive_load():
+        # Open loop at 10x the admitted rate: results are not awaited,
+        # so shedding is the only thing keeping the queue bounded.
+        interval = 1.0 / (10.0 * abusive_rate)
+        rng = harness.rngs.stream("chaos-abusive")
+        while env.now < 3.0:
+            addr = int(rng.integers(0, namespace // 64)) * 64
+            tier.write("abusive", addr, b"\xab" * 64)
+            yield env.timeout(interval)
+
+    stats = _ProbeStats(SLO.max_latency)
+    probe_addrs = [slot * 4096 for slot in range(16)]
+    cursor = {"i": 0}
+
+    def probe_read():
+        addr = probe_addrs[cursor["i"] % len(probe_addrs)]
+        cursor["i"] += 1
+        return tier.read("quiet", addr, PROBE_BYTES)
+
+    env.process(abusive_load(), name="chaos-abusive-load")
+    env.process(_probe_loop(env, probe_read, stats,
+                            interval_s=2e-3, until=3.0),
+                name="chaos-probe")
+    env.run(until=4.0)
+    quiet_stats = tier.stats("quiet")
+    abusive_stats = tier.stats("abusive")
+    return _finish(
+        "noisy-neighbor", seed, harness, injector, registry, stats,
+        {"members_after": float(len(router.members)),
+         "abusive_admitted": float(abusive_stats["admitted"]),
+         "abusive_shed": float(abusive_stats["shed"]),
+         "quiet_shed": float(quiet_stats["shed"]),
+         "quiet_fail_open_reads": float(quiet_stats["fail_open_reads"]),
+         "degradations": float(quiet_stats["degradations"]
+                               + abusive_stats["degradations"]),
+         "repromotions": float(quiet_stats["repromotions"]
+                               + abusive_stats["repromotions"]),
+         "quiet_still_degraded": float(quiet.degraded)})
+
+
 SCENARIOS: Dict[str, Callable[[int], ChaosReport]] = {
     "spot-churn": _spot_churn,
     "spot-evict-programs": _spot_evict_programs,
     "evict-primary": _evict_primary,
     "link-flap": _link_flap,
+    "noisy-neighbor": _noisy_neighbor,
     "shard-churn": _shard_churn,
     "slow-node": _slow_node,
 }

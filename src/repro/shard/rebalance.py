@@ -56,6 +56,10 @@ class RebalanceReport:
     finished_at: float
     #: Per-move (span_fraction, slots, bytes) in execution order.
     moves: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: Identities of the lost slots (sorted, deduplicated) -- consumers
+    #: such as the tenant tier map these back to address ranges to know
+    #: whose data silently reverted.
+    lost_slot_ids: List[int] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -71,7 +75,8 @@ class RebalanceReport:
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
                 "duration_s": self.duration,
-                "moves": [list(m) for m in self.moves]}
+                "moves": [list(m) for m in self.moves],
+                "lost_slot_ids": list(self.lost_slot_ids)}
 
 
 class Rebalancer:
@@ -109,13 +114,14 @@ class Rebalancer:
             slots = [slot for slot in range(router.n_slots)
                      if move.contains(router._slot_points[slot])]
             moved_bytes = lost = 0
+            lost_ids: List[int] = []
             if slots:
                 gate = env.event()
                 entry = (move.lo, move.hi, gate)
                 router._gates.append(entry)
                 try:
-                    moved_bytes, lost = yield from self._stream_move(
-                        move, slots)
+                    moved_bytes, lost, lost_ids = yield from (
+                        self._stream_move(move, slots))
                 finally:
                     router._gates.remove(entry)
                     gate.succeed()
@@ -125,6 +131,7 @@ class Rebalancer:
             report.slots_moved += len(slots)
             report.bytes_moved += moved_bytes
             report.lost_slots += lost
+            report.lost_slot_ids.extend(lost_ids)
             report.moves.append((move.span / (1 << 64), len(slots),
                                  moved_bytes))
             if self._c_moves:
@@ -134,6 +141,7 @@ class Rebalancer:
                 if lost:
                     self._c_lost.inc(lost)
         report.finished_at = env.now
+        report.lost_slot_ids = sorted(set(report.lost_slot_ids))
         if self._g_duration:
             self._g_duration.set(report.duration)
         return report
@@ -145,7 +153,7 @@ class Rebalancer:
         # migration thread; queue_depth bounds the copy pipeline.
         window = Resource(env, slots=self.policy.queue_depth)
         ingests = {name: Resource(env, slots=1) for name in move.targets}
-        totals = {"bytes": 0, "lost": 0}
+        totals = {"bytes": 0, "lost": 0, "lost_ids": []}
         copies = []
         for slot in slots:
             for target_name in move.targets:
@@ -158,7 +166,7 @@ class Rebalancer:
                     name=f"rebalance-copy:{slot}:{target_name}"))
         if copies:
             yield env.all_of(copies)
-        return totals["bytes"], totals["lost"]
+        return totals["bytes"], totals["lost"], totals["lost_ids"]
 
     def _copy_slot(self, move, slot, target, ingest, window, totals):
         router = self.router
@@ -180,6 +188,7 @@ class Rebalancer:
                     break
             if payload is None:
                 totals["lost"] += 1
+                totals["lost_ids"].append(slot)
                 return
             yield ingest.acquire()
             try:
@@ -192,5 +201,6 @@ class Rebalancer:
                 totals["bytes"] += size
             else:
                 totals["lost"] += 1
+                totals["lost_ids"].append(slot)
         finally:
             window.release()

@@ -36,8 +36,8 @@ only on sim time and the access stream.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+import heapq
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.client import CacheIoResult, RedyCache
 from repro.core.migration import MigrationPolicy
@@ -62,8 +62,12 @@ class ShardMember:
         self.cache = cache
         #: Router-issued requests currently outstanding on this shard.
         self.inflight = 0
-        #: FIFO queue of processes waiting for an in-flight slot.
-        self.waiters: Deque[Event] = deque()
+        #: Priority queue of processes waiting for an in-flight slot:
+        #: ``(-priority, seq, event)`` heap entries, so a saturated shard
+        #: grants slots highest-priority first and FIFO within a
+        #: priority (the serving tier maps tenant weight to priority;
+        #: everything else issues at the default 0).
+        self.waiters: List[Tuple[int, int, Event]] = []
         self.alive = True
         #: True while this member is being drained off the ring.
         self.departing = False
@@ -143,8 +147,19 @@ class ShardRouter:
         #: Completed rebalances, in order (the scale-out bench reads
         #: durations and byte counts off these).
         self.reports: List[RebalanceReport] = []
+        #: Called (in registration order) with each completed
+        #: RebalanceReport, after the ring has flipped.  Consumers that
+        #: layer durability on the router (the tenant tier) use this to
+        #: learn about lost slots the data path cannot observe: with
+        #: replication=1 an emergency departure can swap the ring with
+        #: nothing to stream, so reads over lost ranges silently
+        #: succeed against stale survivor bytes.
+        self.on_rebalance: List[Callable[[RebalanceReport], None]] = []
         #: Tail of the serialized membership-change chain.
         self._membership_tail: Optional[Event] = None
+
+        #: Tie-break sequence for the per-shard priority waiter queues.
+        self._waiter_seq = 0
 
         m = self.metrics
         self._c_reads = m.counter("router.reads") if m else None
@@ -159,6 +174,10 @@ class ShardRouter:
                                  if m else None)
         self._c_promotions = m.counter("hotkeys.promotions") if m else None
         self._c_demotions = m.counter("hotkeys.demotions") if m else None
+        #: Per-tenant accounting families (children created on demand).
+        self._c_tenant_reads = m.counter("router.tenant_reads") if m else None
+        self._c_tenant_writes = (m.counter("router.tenant_writes")
+                                 if m else None)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -191,22 +210,24 @@ class ShardRouter:
     # ------------------------------------------------------------------
 
     def read(self, addr: int, size: int,
-             callback: Optional[Callable[[CacheIoResult], None]] = None
-             ) -> Event:
+             callback: Optional[Callable[[CacheIoResult], None]] = None,
+             *, tenant: Optional[str] = None, priority: int = 0) -> Event:
         done = self.env.event()
         if callback is not None:
             done._add_callback(lambda event: callback(event.value))
-        self.env.process(self._io(True, addr, size, None, done),
+        self.env.process(self._io(True, addr, size, None, done,
+                                  tenant=tenant, priority=priority),
                          name=f"router-read:{addr}")
         return done
 
     def write(self, addr: int, data: bytes,
-              callback: Optional[Callable[[CacheIoResult], None]] = None
-              ) -> Event:
+              callback: Optional[Callable[[CacheIoResult], None]] = None,
+              *, tenant: Optional[str] = None, priority: int = 0) -> Event:
         done = self.env.event()
         if callback is not None:
             done._add_callback(lambda event: callback(event.value))
-        self.env.process(self._io(False, addr, len(data), data, done),
+        self.env.process(self._io(False, addr, len(data), data, done,
+                                  tenant=tenant, priority=priority),
                          name=f"router-write:{addr}")
         return done
 
@@ -285,10 +306,12 @@ class ShardRouter:
     # Backpressure
     # ------------------------------------------------------------------
 
-    def _acquire(self, member: ShardMember):
+    def _acquire(self, member: ShardMember, priority: int = 0):
         while member.inflight >= self.max_inflight_per_shard:
             waiter = self.env.event()
-            member.waiters.append(waiter)
+            self._waiter_seq += 1
+            heapq.heappush(member.waiters,
+                           (-priority, self._waiter_seq, waiter))
             yield waiter
         member.inflight += 1
         if member.inflight_gauge:
@@ -299,23 +322,26 @@ class ShardRouter:
         if member.inflight_gauge:
             member.inflight_gauge.set(member.inflight)
         if member.waiters and member.inflight < self.max_inflight_per_shard:
-            member.waiters.popleft().succeed()
+            heapq.heappop(member.waiters)[2].succeed()
 
     def _issue(self, member: ShardMember, is_read: bool, addr: int,
-               size_or_data):
+               size_or_data, tenant: Optional[str] = None,
+               priority: int = 0):
         """Acquire an in-flight slot and start one member I/O.
 
         Returns the member cache's completion event; the slot is
         released by callback, so even an abandoned hedge loser frees
-        its slot when it eventually completes.
+        its slot when it eventually completes.  ``priority`` orders the
+        backpressure queue (weighted issue order for the serving tier);
+        ``tenant`` rides down to the engine for per-tenant accounting.
         """
-        yield from self._acquire(member)
+        yield from self._acquire(member, priority)
         if is_read:
-            event = member.cache.read(addr, size_or_data)
+            event = member.cache.read(addr, size_or_data, tenant=tenant)
             if member.reads:
                 member.reads.inc()
         else:
-            event = member.cache.write(addr, size_or_data)
+            event = member.cache.write(addr, size_or_data, tenant=tenant)
             if member.writes:
                 member.writes.inc()
         event._add_callback(lambda _e, m=member: self._release(m))
@@ -326,7 +352,8 @@ class ShardRouter:
     # ------------------------------------------------------------------
 
     def _io(self, is_read: bool, addr: int, size: int,
-            data: Optional[bytes], done: Event):
+            data: Optional[bytes], done: Event,
+            tenant: Optional[str] = None, priority: int = 0):
         started = self.env.now
         try:
             fragments = self._fragments(addr, size)
@@ -335,18 +362,24 @@ class ShardRouter:
             return
         if False:
             yield  # pragma: no cover -- makes this a generator
+        if tenant is not None:
+            family = self._c_tenant_reads if is_read else self._c_tenant_writes
+            if family is not None:
+                family.labels(tenant=tenant).inc()
         parts: List[Event] = []
         for slot, frag_addr, length, offset in fragments:
             part = self.env.event()
             parts.append(part)
             if is_read:
                 self.env.process(
-                    self._read_fragment(slot, frag_addr, length, part),
+                    self._read_fragment(slot, frag_addr, length, part,
+                                        tenant, priority),
                     name=f"router-read-frag:{slot}")
             else:
                 payload = data[offset:offset + length]
                 self.env.process(
-                    self._write_fragment(slot, frag_addr, payload, part),
+                    self._write_fragment(slot, frag_addr, payload, part,
+                                         tenant, priority),
                     name=f"router-write-frag:{slot}")
         results = yield self.env.all_of(parts)
         latency = self.env.now - started
@@ -372,7 +405,8 @@ class ShardRouter:
             done.succeed(CacheIoResult(ok=True, latency=latency))
 
     def _read_fragment(self, slot: int, addr: int, length: int,
-                       done: Event):
+                       done: Event, tenant: Optional[str] = None,
+                       priority: int = 0):
         self._record_access(slot)
         pool = self._read_pool(slot)
         result = CacheIoResult(ok=False, error="no live shard for range")
@@ -386,14 +420,17 @@ class ShardRouter:
             if i and self._c_failovers:
                 self._c_failovers.inc()
             result = yield from self._attempt_read(member, addr, length,
-                                                   pool[i + 1:])
+                                                   pool[i + 1:],
+                                                   tenant, priority)
             if result.ok:
                 break
         done.succeed(result)
 
     def _attempt_read(self, member: ShardMember, addr: int, length: int,
-                      alternates: List[str]):
-        primary = yield from self._issue(member, True, addr, length)
+                      alternates: List[str], tenant: Optional[str] = None,
+                      priority: int = 0):
+        primary = yield from self._issue(member, True, addr, length,
+                                         tenant, priority)
         if self.hedge_after_s is None:
             result = yield primary
             return result
@@ -419,7 +456,8 @@ class ShardRouter:
             return result
         if self._c_hedges:
             self._c_hedges.inc()
-        hedge = yield from self._issue(hedge_member, True, addr, length)
+        hedge = yield from self._issue(hedge_member, True, addr, length,
+                                       tenant, priority)
         index, value = yield self.env.any_of([primary, hedge])
         if value.ok:
             if index == 1 and self._c_hedge_wins:
@@ -449,7 +487,8 @@ class ShardRouter:
             yield gate
 
     def _write_fragment(self, slot: int, addr: int, payload: bytes,
-                        done: Event):
+                        done: Event, tenant: Optional[str] = None,
+                        priority: int = 0):
         yield from self._write_barrier(slot)
         issued: List[Event] = []
         # Sorted acquire order: concurrent multi-target writes never
@@ -458,7 +497,8 @@ class ShardRouter:
             member = self._members.get(name)
             if member is None or not member.alive:
                 continue
-            event = yield from self._issue(member, False, addr, payload)
+            event = yield from self._issue(member, False, addr, payload,
+                                           tenant, priority)
             issued.append(event)
         if not issued:
             done.succeed(CacheIoResult(ok=False,
@@ -629,6 +669,8 @@ class ShardRouter:
         self.ring = new
         self._overrides.clear()
         self.reports.append(report)
+        for hook in self.on_rebalance:
+            hook(report)
         return report
 
     def _depart_op(self, member: ShardMember, emergency: bool):
@@ -644,8 +686,10 @@ class ShardRouter:
         member.alive = False
         # Unblock anything still queued on the dead member.
         while member.waiters:
-            member.waiters.popleft().succeed()
+            heapq.heappop(member.waiters)[2].succeed()
         self.reports.append(report)
+        for hook in self.on_rebalance:
+            hook(report)
         return report
 
     # ------------------------------------------------------------------

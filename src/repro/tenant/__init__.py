@@ -1,0 +1,35 @@
+"""Multi-tenant serving tier: SLO isolation over the shard router.
+
+``repro.tenant`` turns the single-user reproduction into a serving
+system: each registered tenant gets a private slice of the shared
+address space, token-bucket admission control with deterministic load
+shedding, an SLO class mapped onto the offline model's Pareto frontier,
+weighted scheduling across the shared shard pool, and graceful
+degradation to a local backing store when its remote region is lost.
+"""
+
+from repro.tenant.admission import (
+    ADMIT,
+    AdmissionController,
+    DELAY,
+    SHED,
+    TokenBucket,
+)
+from repro.tenant.backing import FailOpenStore
+from repro.tenant.slo import ClassPlan, SLO_CLASS_WEIGHTS, plan_slo_classes
+from repro.tenant.tier import TenantSpec, TenantState, TenantTier
+
+__all__ = [
+    "ADMIT",
+    "AdmissionController",
+    "ClassPlan",
+    "DELAY",
+    "FailOpenStore",
+    "SHED",
+    "SLO_CLASS_WEIGHTS",
+    "TenantSpec",
+    "TenantState",
+    "TenantTier",
+    "TokenBucket",
+    "plan_slo_classes",
+]

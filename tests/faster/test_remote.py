@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import Slo
 from repro.faster import RemoteFasterStore
-from repro.faster.address import unpack_record
 from repro.sim.resources import Resource
 from repro.workloads.scenarios import build_cluster
 
@@ -145,3 +144,118 @@ class TestReadPath:
             return run(env, proc(env))
 
         assert timed_get(True) < timed_get(False)
+
+
+class TestCasEviction:
+    """Server-side eviction marking: one standalone remote CAS."""
+
+    def test_evict_then_get_misses(self):
+        env, _, store = make_store()
+        store.load(8)
+        cpu = Resource(env)
+        assert run(env, store.evict(3, cpu)) is True
+        assert store.evictions == 1
+        outcome = run(env, store.get(3, cpu))
+        assert not outcome.found
+        assert outcome.error is None
+
+    def test_evicted_slot_accepts_a_fresh_upsert(self):
+        env, _, store = make_store()
+        store.load(8)
+        cpu = Resource(env)
+        assert run(env, store.evict(3, cpu))
+        value = b"Z" * VALUE_BYTES
+        assert run(env, store.upsert(3, value, cpu))
+        outcome = run(env, store.get(3, cpu))
+        assert outcome.found
+        assert outcome.value == value
+
+    def test_absent_key_is_not_evicted(self):
+        env, _, store = make_store()
+        store.load(4)
+        occupied = {store._start_slot(key) for key in range(4)}
+        missing = next(key for key in range(100, 10_000)
+                       if store._start_slot(key) not in occupied)
+        cpu = Resource(env)
+        assert run(env, store.evict(missing, cpu)) is False
+        assert store.evictions == 0
+
+    def test_double_evict_is_idempotent(self):
+        env, _, store = make_store()
+        store.load(8)
+        cpu = Resource(env)
+        assert run(env, store.evict(5, cpu)) is True
+        assert run(env, store.evict(5, cpu)) is False
+        assert store.evictions == 1
+
+    def test_key_zero_is_not_evictable(self):
+        env, _, store = make_store()
+        store.load(1)
+        cpu = Resource(env)
+        with pytest.raises(ValueError):
+            run(env, store.evict(0, cpu))
+
+    def test_tombstone_keeps_displaced_chain_readable(self):
+        env, _, store = make_store()
+        # key A occupies its home slot; key B hashes to the same home
+        # and is displaced one slot down.  Evicting A must leave a
+        # tombstone that probes for B step over -- a NULLed-out slot
+        # that ended the chain would orphan B.
+        home = store._start_slot(1)
+        displaced = next(key for key in range(2, 10_000)
+                         if store._start_slot(key) == home)
+        store.load(2)
+        cpu = Resource(env)
+        value = b"b" * VALUE_BYTES
+        assert run(env, store.upsert(displaced, value, cpu))
+        assert run(env, store.evict(1, cpu))
+        outcome = run(env, store.get(displaced, cpu))
+        assert outcome.found
+        assert outcome.value == value
+
+    def test_concurrent_upsert_wins_the_race(self):
+        env, _, store = make_store()
+        store.load(8)
+        cpu_a = Resource(env)
+        cpu_b = Resource(env)
+        results = {}
+
+        def evictor():
+            results["evicted"] = yield from store.evict(
+                3, cpu_a, max_races=0)
+
+        def upserter():
+            results["upserted"] = yield from store.upsert(
+                3, b"n" * VALUE_BYTES, cpu_b)
+
+        env.process(evictor(), name="evictor")
+        env.process(upserter(), name="upserter")
+        env.run()
+        assert results["upserted"]
+        # Whichever CAS lost observed the other's swing; with zero
+        # retries allowed a lost eviction race reports False.
+        if not results["evicted"]:
+            assert store.evict_races >= 1
+        outcome = run(env, store.get(3, Resource(env)))
+        # The upsert's record address won or was re-marked: the slot
+        # must still be internally consistent either way.
+        assert outcome.error is None
+
+    def test_eviction_metrics_are_counted(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        harness = build_cluster(seed=2, metrics=registry)
+        client = harness.redy_client("faster-remote-metrics")
+        slo = Slo(max_latency=1e-3, min_throughput=1e5,
+                  record_size=VALUE_BYTES)
+        cache = client.create(CAPACITY, slo, duration_s=3600.0,
+                              region_bytes=CAPACITY, file=bytes(CAPACITY))
+        store = RemoteFasterStore(cache, capacity_slots=SLOTS,
+                                  value_bytes=VALUE_BYTES)
+        store.load(8)
+        cpu = Resource(harness.env)
+        assert run(harness.env, store.evict(3, cpu))
+        snapshot = registry.snapshot()
+        assert snapshot["faster.remote.cas_evictions"]["value"] == 1.0
+        assert snapshot["engine.cas_ops"]["value"] == 1.0

@@ -39,3 +39,19 @@ def test_churn_runs_inject_faults_and_log_them():
     # Every injected fault is in the log with a simulated timestamp.
     assert all(event.time >= 0.5 for event in report.log
                if event.kind in ("vm-eviction", "vm-kill"))
+
+
+def test_noisy_neighbor_isolates_and_recovers():
+    report = run_scenario("noisy-neighbor", seed=0)
+    summary = report.summary
+    # The abusive tenant is shed in bulk; the quiet tenant never is.
+    assert summary["abusive_shed"] > 1000
+    assert summary["quiet_shed"] == 0
+    # The mid-run kill degrades tenants but probes stay answered:
+    # fail-open turns a region loss into latency, not unavailability.
+    assert summary["faults_injected"] >= 1
+    assert summary["degradations"] >= 1
+    assert summary["repromotions"] == summary["degradations"]
+    assert summary["quiet_still_degraded"] == 0.0
+    assert summary["failed_probes"] == 0
+    assert summary["unavailable_s"] == 0

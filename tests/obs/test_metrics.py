@@ -269,6 +269,29 @@ class TestLabels:
         assert merged_child.bounds == (1.0, 8.0, 64.0)
         assert merged_child.count == 1
 
+    def test_labeled_histogram_family_round_trips(self):
+        # The tenant tier's shape: one latency family, one child per
+        # tenant, each with its own distribution.  The full family must
+        # survive snapshot -> merge with per-child percentiles intact.
+        source = MetricsRegistry()
+        family = source.histogram("tenant_read_lat")
+        for index in range(100):
+            family.labels(tenant="prem").observe(2 * US + index * 1e-8)
+            family.labels(tenant="scav").observe(50 * US + index * 1e-7)
+        family.observe(1.0)  # the unlabeled parent is independent
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        merged = target.histogram("tenant_read_lat")
+        for tenant in ("prem", "scav"):
+            original = family.labels(tenant=tenant)
+            child = merged.labels(tenant=tenant)
+            assert child.count == original.count == 100
+            assert child.percentile(0.99) == original.percentile(0.99)
+        assert merged.labels(tenant="prem").percentile(0.5) < (
+            merged.labels(tenant="scav").percentile(0.5))
+        assert merged.count == 1
+        assert target.snapshot() == source.snapshot()
+
     def test_labels_validation(self):
         counter = MetricsRegistry().counter("c")
         with pytest.raises(ValueError):

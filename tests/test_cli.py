@@ -253,3 +253,35 @@ def test_verbs_json_blob_carries_both_transports(capsys):
     assert blob["two_hop"]["two_hop_reads"] == 12
     assert (blob["program"]["read_latency_mean_us"]
             < blob["two_hop"]["read_latency_mean_us"])
+
+
+def test_tenants_smoke_passes_and_reports(capsys):
+    assert main(["tenants", "--smoke", "--ops", "1200"]) == 0
+    out = capsys.readouterr().out
+    assert "tenants smoke OK" in out
+    assert "0 lost acks" in out
+    assert "replay bit-identical" in out
+
+
+def test_tenants_json_blob_carries_per_tenant_stats(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "tenants.json"
+    assert main(["tenants", "--ops", "400", "--json",
+                 "--out", str(out_path)]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["schema"] == "repro.tenants/v1"
+    assert sorted(blob["tenants"]) == ["prem", "scav", "std"]
+    assert blob["tenants"]["scav"]["shed"] > 0
+    assert blob["tenants"]["prem"]["shed"] == 0
+    assert blob["premium_read_p99_s"] > 0
+    # The blob on disk is the same report.
+    assert json.loads(out_path.read_text()) == blob
+
+
+def test_tenants_text_view_lists_tenants(capsys):
+    assert main(["tenants", "--ops", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "premium read p99" in out
+    for name in ("prem", "scav", "std"):
+        assert name in out
