@@ -850,6 +850,96 @@ def cmd_verbs(seed: int, ops: int, smoke: bool, as_json: bool) -> int:
     return 0
 
 
+def cmd_connstorm(seed: int, clients: int, reads: int, smoke: bool,
+                  as_json: bool, out: str | None) -> int:
+    """Connection-storm ablation: naive QPs vs pooled vs pooled+lazy.
+
+    Slams one cache tier with ``clients`` sessions arriving inside a
+    50 ms window under each pool strategy and reports the TTFB
+    percentiles -- the control-plane bill each strategy leaves on the
+    open path.  ``--smoke`` is the CI gate: every storm completes with
+    zero failures and zero leaked QPs/regions, pooling cuts both p99
+    TTFB and registrations vs the naive baseline, the demux never
+    misroutes, and a same-seed replay is bit-identical.
+    """
+    from repro.cplane import run_connection_storm
+    from repro.cplane.pool import STRATEGIES
+
+    if smoke:
+        clients = min(clients, 1200)
+    runs = {strategy: run_connection_storm(seed, clients=clients,
+                                           strategy=strategy,
+                                           reads_per_session=reads)
+            for strategy in STRATEGIES}
+    naive = runs["per-client"]
+    lazy = runs["pooled-lazy"]
+
+    if smoke:
+        failures = []
+        for strategy, blob in runs.items():
+            if blob["completed"] != clients or blob["failures"]:
+                failures.append(
+                    f"{strategy}: {blob['completed']}/{clients} sessions, "
+                    f"{blob['failures']} failed reads")
+            if blob["leaked_qps"] or blob["leaked_client_regions"]:
+                failures.append(
+                    f"{strategy}: leaked {blob['leaked_qps']} QPs / "
+                    f"{blob['leaked_client_regions']} regions after "
+                    "harvest")
+            if blob["pool_totals"].get("demux_misroutes"):
+                failures.append(f"{strategy}: completion demux misrouted")
+        if lazy["ttfb_us"]["p99"] >= naive["ttfb_us"]["p99"]:
+            failures.append(
+                f"no p99 win: pooled-lazy {lazy['ttfb_us']['p99']:.1f}us "
+                f"vs naive {naive['ttfb_us']['p99']:.1f}us")
+        if lazy["mr_registrations"] >= naive["mr_registrations"]:
+            failures.append(
+                f"pooling did not amortize registrations "
+                f"({lazy['mr_registrations']} vs "
+                f"{naive['mr_registrations']})")
+        replay = run_connection_storm(seed, clients=clients,
+                                      strategy="pooled-lazy",
+                                      reads_per_session=reads)
+        if replay != lazy:
+            failures.append("same-seed storm replay diverged")
+        for line in failures:
+            print(f"FAIL: {line}")
+        if not failures:
+            ratio = naive["ttfb_us"]["p99"] / max(lazy["ttfb_us"]["p99"],
+                                                  1e-9)
+            print(f"connstorm smoke OK: {clients} clients, p99 TTFB "
+                  f"naive {naive['ttfb_us']['p99']:.1f}us vs pooled-lazy "
+                  f"{lazy['ttfb_us']['p99']:.1f}us ({ratio:.1f}x), "
+                  f"0 leaks, replay bit-identical")
+        if out:
+            pathlib.Path(out).write_text(
+                json.dumps(runs, indent=2, sort_keys=True) + "\n")
+        return 1 if failures else 0
+
+    if out:
+        pathlib.Path(out).write_text(
+            json.dumps(runs, indent=2, sort_keys=True) + "\n")
+    if as_json:
+        print(json.dumps(runs, indent=2, sort_keys=True))
+        return 0
+    print(f"== connection storm, {clients} clients in 50 ms "
+          f"(seed {seed}) ==")
+    print(f"{'strategy':>12} {'p50 us':>9} {'p99 us':>9} {'max us':>9} "
+          f"{'QPs':>6} {'estab':>6} {'MRs':>6} {'ctx miss':>8}")
+    for strategy in STRATEGIES:
+        blob = runs[strategy]
+        print(f"{strategy:>12} {blob['ttfb_us']['p50']:>9.1f} "
+              f"{blob['ttfb_us']['p99']:>9.1f} "
+              f"{blob['ttfb_us']['max']:>9.1f} "
+              f"{blob['pool_totals'].get('qps_created', 0):>6} "
+              f"{blob['qp_establishments']:>6} "
+              f"{blob['mr_registrations']:>6} "
+              f"{blob['qp_context_misses']:>8}")
+    if out:
+        print(f"report written to {out}")
+    return 0
+
+
 def cmd_lint(paths: list[str], fmt: str, rules: str | None) -> int:
     """Run the determinism AST linter (``repro.analysis``) over paths.
 
@@ -889,7 +979,7 @@ def cmd_sanitize(workload: str, seed: int, fmt: str, smoke: bool) -> int:
         return 0
     if smoke:
         names = ["measure", "measure-programs", "measure-tenants",
-                 "chaos-spot-churn"]
+                 "measure-cplane", "chaos-spot-churn"]
     elif workload not in WORKLOADS:
         print(f"unknown sanitize workload {workload!r}; "
               f"try `python -m repro sanitize list`")
@@ -1025,6 +1115,22 @@ def main(argv: list[str] | None = None) -> int:
                             "+ determinism checks")
     verbs.add_argument("--json", action="store_true", dest="as_json",
                        help="emit both runs as one JSON blob")
+    connstorm = sub.add_parser(
+        "connstorm",
+        help="connection-storm ablation: naive vs pooled vs pooled+lazy")
+    connstorm.add_argument("--seed", type=int, default=0)
+    connstorm.add_argument("--clients", type=int, default=20000,
+                           help="sessions arriving inside the 50 ms window")
+    connstorm.add_argument("--reads", type=int, default=1,
+                           help="reads per session (spreads NIC context "
+                                "touches)")
+    connstorm.add_argument("--smoke", action="store_true",
+                           help="CI gate: completion + leak + p99 win "
+                                "+ determinism checks")
+    connstorm.add_argument("--json", action="store_true", dest="as_json",
+                           help="emit all three runs as one JSON blob")
+    connstorm.add_argument("--out", default=None,
+                           help="write the JSON blob to this path")
     lint = sub.add_parser(
         "lint",
         help="run the determinism AST linter (repro.analysis)")
@@ -1078,6 +1184,9 @@ def main(argv: list[str] | None = None) -> int:
                                args.as_json, args.out)
         if args.command == "verbs":
             return cmd_verbs(args.seed, args.ops, args.smoke, args.as_json)
+        if args.command == "connstorm":
+            return cmd_connstorm(args.seed, args.clients, args.reads,
+                                 args.smoke, args.as_json, args.out)
         if args.command == "lint":
             return cmd_lint(args.paths, args.fmt, args.rules)
         if args.command == "sanitize":

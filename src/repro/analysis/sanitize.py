@@ -387,6 +387,20 @@ def _workload_programs(seed: int) -> None:
                    warmup_batches=5, metrics=MetricsRegistry())
 
 
+def _workload_cplane(seed: int) -> None:
+    """A pooled-lazy connection storm (repro.cplane).
+
+    Exercises the elastic control plane end to end: deferred QP
+    establishment through the batched connect worker, timed memory
+    registration, session multiplexing with completion demux, and the
+    idle harvest must all trace identically across runs.
+    """
+    from repro.cplane import run_connection_storm
+
+    run_connection_storm(seed, clients=400, strategy="pooled-lazy",
+                         reads_per_session=2)
+
+
 # Deliberately nondeterministic demo: module state leaks across runs the
 # way a forgotten global cache would, so the second run schedules
 # differently and draws once more from its RNG stream.
@@ -418,6 +432,7 @@ WORKLOADS: Dict[str, Callable[[int], Any]] = {
     "measure": _workload_measure,
     "measure-programs": _workload_programs,
     "measure-tenants": _workload_tenants,
+    "measure-cplane": _workload_cplane,
     "chaos-spot-churn": _workload_chaos,
     "demo-nondet": _workload_nondet_demo,
 }

@@ -188,10 +188,15 @@ class CacheDataPath:
         )
         reply = server.connect(request, self.endpoint)
 
+        # With control-plane modeling on, per-thread QPs are created
+        # deferred: the connect handshake is charged lazily on first
+        # use instead of being free (see repro.cplane).
+        deferred = (config.model_control_plane
+                    or self.endpoint.fabric.model_control_plane)
         for thread, ring, ring_token in zip(
                 self.threads, response_rings, reply.request_ring_tokens):
             qp = QueuePair(self.env, self.endpoint, server.endpoint,
-                           max_depth=config.queue_depth)
+                           max_depth=config.queue_depth, deferred=deferred)
             connection = _Connection(
                 self.env, self._connection_counter, server, qp,
                 ring_token, ring, config.queue_depth)
@@ -209,15 +214,29 @@ class CacheDataPath:
         return reply.region_tokens
 
     def detach_server(self, server_name: str) -> None:
-        """Drop all connections to one server (it failed or was reclaimed)."""
+        """Drop all connections to one server (it failed or was reclaimed).
+
+        Releases the client-side control-plane state too -- response
+        rings are deregistered and the per-thread QPs reclaimed -- and
+        tells a still-alive server to drop its half (request rings,
+        response QPs).  Before this fix, every attach/detach cycle
+        leaked one region and two QP registrations per client thread
+        on each side.
+        """
+        server: Optional[CacheServer] = None
         for thread in self.threads:
             connection = thread.connections.pop(server_name, None)
             if connection is not None:
                 connection.closed = True
+                server = connection.server
                 stale = [rid for rid, conn in thread.routes.items()
                          if conn is connection]
                 for rid in stale:
                     del thread.routes[rid]
+                self.endpoint.deregister(connection.response_ring.region_id)
+                connection.qp.reclaim()
+        if server is not None and server.alive:
+            server.disconnect_client(self.endpoint)
 
     def add_route(self, region_id: int, server_name: str) -> None:
         """Point a region at an (already attached) server on every thread."""

@@ -1,0 +1,187 @@
+"""The control-plane facade: pools, predictor, harvester, and wiring.
+
+One :class:`ControlPlane` per fabric.  It flips the fabric into
+control-plane cost modeling (QP/connect/MR costs + NIC context caches),
+owns one :class:`~repro.cplane.pool.QpPool` per (local, remote)
+endpoint pair, sizes the pools' warm targets from admission traffic via
+the :class:`~repro.cplane.predictor.WarmPoolPredictor`, and runs the
+periodic idle harvester.  The serving layers wire into it at two
+points:
+
+* :meth:`bind_router` -- a rebalance that removes a member reclaims
+  every QP pooled against the departed endpoint (fast teardown), so a
+  storm landing mid-rebalance cannot strand QPs on a corpse;
+* :meth:`note_admission` -- the tenant tier reports admitted requests,
+  feeding the predictor that sizes pre-connected warm pools.
+
+Installing a plane sets ``fabric.control_plane``, which the engine's
+attach path consults to lease pooled QPs instead of creating naive
+per-thread ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.cplane.log import CplaneLog
+from repro.cplane.pool import PoolPolicy, QpPool
+from repro.cplane.predictor import WarmPoolPredictor
+from repro.cplane.session import ClientSession
+from repro.net.fabric import Endpoint, Fabric
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """Connection control plane layered over one fabric."""
+
+    def __init__(self, env: Environment, fabric: Fabric, *,
+                 policy: Optional[PoolPolicy] = None,
+                 predictor: Optional[WarmPoolPredictor] = None,
+                 harvest_interval_s: float = 0.1):
+        if harvest_interval_s <= 0:
+            raise ValueError("harvest_interval_s must be positive")
+        self.env = env
+        self.fabric = fabric
+        self.policy = policy if policy is not None else PoolPolicy()
+        self.predictor = (predictor if predictor is not None
+                          else WarmPoolPredictor())
+        self.harvest_interval_s = harvest_interval_s
+        self.log = CplaneLog()
+        #: (local name, remote name) -> pool; session ids are unique
+        #: across all pools (shared counter).
+        self.pools: Dict[Tuple[str, str], QpPool] = {}
+        self._session_ids = itertools.count(1)
+        self._harvester_running = False
+        self.tenants: Dict[str, int] = {}
+        # Control-plane costs become real the moment a plane exists:
+        # deferred QPs, timed registration, and NIC context caches.
+        fabric.enable_control_plane_model()
+        fabric.control_plane = self
+
+    # ------------------------------------------------------------------
+    # Pools
+    # ------------------------------------------------------------------
+
+    def pool(self, local: Endpoint, remote: Endpoint) -> QpPool:
+        """The pool carrying ``local``'s sessions to ``remote``
+        (created on first use)."""
+        key = (local.name, remote.name)
+        pool = self.pools.get(key)
+        if pool is None:
+            pool = QpPool(self.env, local, remote, self.policy, self.log,
+                          session_ids=self._session_ids)
+            self.pools[key] = pool
+        return pool
+
+    def open_session(self, local: Endpoint, remote: Endpoint,
+                     tenant: Optional[str] = None
+                     ) -> Generator[Event, object, ClientSession]:
+        """Process: open one logical session through the right pool."""
+        self.predictor.observe(self.env.now)
+        session = yield from self.pool(local, remote).open_session(tenant)
+        return session
+
+    def close_session(self, session: ClientSession) -> None:
+        pool = self.pools.get((session.local_name, session.remote_name))
+        if pool is not None:
+            pool.close_session(session)
+
+    # ------------------------------------------------------------------
+    # Warm pool + harvesting
+    # ------------------------------------------------------------------
+
+    def establish_latency_estimate(self) -> float:
+        """Analytic cold-connect latency (command cost + handshake
+        RTTs) used to size the warm pool via Little's law."""
+        nic = self.fabric.profile.nic
+        fab = self.fabric.profile.fabric
+        rtt = 2 * (nic.wire_time(nic.connect_message_bytes)
+                   + fab.one_way_base(1))
+        return nic.qp_setup_cpu_latency() + nic.connect_handshake_rtts * rtt
+
+    def warm_target(self) -> int:
+        return self.predictor.target_warm(self.establish_latency_estimate())
+
+    def prewarm(self) -> Generator[Event, object, int]:
+        """Process: push every pool's warm pool up to the predictor's
+        current target.  Returns total QPs pre-connected."""
+        target = self.warm_target()
+        total = 0
+        for key in sorted(self.pools):
+            total += yield from self.pools[key].ensure_warm(target)
+        return total
+
+    def harvest_once(self) -> int:
+        """One harvester pass over every pool (sorted order)."""
+        total = 0
+        for key in sorted(self.pools):
+            pool = self.pools[key]
+            pool.warm_target = min(self.warm_target(),
+                                   self.policy.warm_max)
+            total += pool.harvest()
+        return total
+
+    def start_harvester(self) -> None:
+        """Spawn the periodic idle-harvest process (idempotent)."""
+        if self._harvester_running:
+            return
+        self._harvester_running = True
+        self.env.process(self._harvest_loop(), name="cplane-harvester")
+
+    def _harvest_loop(self):
+        while True:
+            yield self.env.timeout(self.harvest_interval_s)
+            self.harvest_once()
+
+    # ------------------------------------------------------------------
+    # Serving-layer wiring
+    # ------------------------------------------------------------------
+
+    def bind_router(self, router) -> None:
+        """Reclaim pooled QPs when a rebalance removes members: every
+        pool whose remote endpoint is dead or gone tears down fast
+        instead of letting sessions time out against a corpse."""
+        router.on_rebalance.append(self._on_rebalance)
+
+    def _on_rebalance(self, report) -> None:
+        reclaimed = 0
+        for key in sorted(self.pools):
+            pool = self.pools[key]
+            if not pool.remote.alive:
+                reclaimed += pool.reclaim_all(reason="rebalance: remote gone")
+        self.log.append(self.env.now, "storm.rebalance", "plane",
+                        reclaimed=reclaimed,
+                        lost_slots=getattr(report, "lost_slots", 0))
+
+    def register_tenant(self, name: str) -> None:
+        """Track one serving tenant (admission feed identity)."""
+        self.tenants.setdefault(name, 0)
+
+    def note_admission(self, tenant: Optional[str] = None) -> None:
+        """Feed one admitted request into the warm-pool predictor (the
+        tenant tier calls this on every ADMIT verdict)."""
+        if tenant is not None:
+            self.tenants[tenant] = self.tenants.get(tenant, 0) + 1
+        self.predictor.observe(self.env.now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Aggregate control-plane state (deterministic ordering)."""
+        pools = {f"{k[0]}->{k[1]}": self.pools[k].stats()
+                 for k in sorted(self.pools)}
+        return {
+            "pools": pools,
+            "predictor": self.predictor.snapshot(),
+            "warm_target": self.warm_target(),
+            "tenants": dict(sorted(self.tenants.items())),
+            "mr_registrations": self.fabric.mr_registrations,
+            "mr_registered_bytes": self.fabric.mr_registered_bytes,
+            "log_events": len(self.log),
+            "log_digest": self.log.digest(),
+        }

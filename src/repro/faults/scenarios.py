@@ -20,7 +20,11 @@ The scenarios cover the §6 robustness matrix:
 * ``link-flap``    -- transient QP error storms the retry policy must
   ride out;
 * ``slow-node``    -- a throttled server plus a fabric latency spike
-  (degradation, not failure).
+  (degradation, not failure);
+* ``conn-storm-rebalance`` -- a connection storm lands while a member
+  kill forces an emergency rebalance: pooled sessions against the
+  corpse must reclaim fast, the storm against survivors must complete,
+  and no acknowledged write may be lost.
 """
 
 from __future__ import annotations
@@ -552,6 +556,160 @@ def _noisy_neighbor(seed: int) -> ChaosReport:
          "quiet_still_degraded": float(quiet.degraded)})
 
 
+def _conn_storm_rebalance(seed: int) -> ChaosReport:
+    """A connection storm lands while a shard rebalance is in flight.
+
+    A 4-member replication=2 :class:`~repro.shard.router.ShardRouter`
+    serves write-then-verify probes with the control-plane cost model
+    switched on (deferred QPs, timed registration, NIC context caches).
+    At t=1 s every VM of one member is hard-killed, forcing an
+    emergency rebalance -- and right across that window a burst of
+    pooled client sessions opens against every member, the corpse
+    included.  The :class:`~repro.cplane.plane.ControlPlane` is bound
+    to the router, so the rebalance must fast-reclaim every QP pooled
+    against the dead endpoint instead of letting sessions rot; storm
+    reads against the corpse may fail (counted), but no session may
+    hang and **no acknowledged router write may be lost** -- the
+    ``lost_acked_writes == 0`` invariant the chaos test pins.
+    """
+    from repro.cplane import ControlPlane, PoolPolicy
+    from repro.net.memory import MemoryRegion
+    from repro.shard import ShardRouter
+
+    registry = MetricsRegistry()
+    harness = build_cluster(seed=seed, metrics=registry)
+    env = harness.env
+    # The plane flips the fabric into control-plane modeling *before*
+    # the caches attach, so the engine's own QPs take the deferred path
+    # too -- the storm and the serving traffic share one cost model.
+    plane = ControlPlane(env, harness.fabric,
+                         policy=PoolPolicy(strategy="pooled-lazy",
+                                           sessions_per_qp=16,
+                                           idle_timeout_s=0.2))
+    client = harness.redy_client("chaos-storm-app")
+    capacity = 2 * REGION
+    members = {
+        f"s{i}": client.create(capacity, SLO, duration_s=3600.0,
+                               region_bytes=REGION)
+        for i in range(4)
+    }
+    router = ShardRouter(env, members, slot_bytes=1 << 14, replication=2,
+                         control_plane=plane)
+    router.load(0, _backing(capacity))
+    plane.start_harvester()
+
+    # Storm targets: one scratch region per member server endpoint (the
+    # victim's dies with it -- those reads must error, not hang).
+    server_eps = [members[f"s{i}"].allocation.servers[0].endpoint
+                  for i in range(4)]
+    scratch = [ep.register(MemoryRegion(1 << 16, backing=False))
+               for ep in server_eps]
+    host_eps = [harness.fabric.add_endpoint(f"storm-host{j}")
+                for j in range(4)]
+
+    injector = FaultInjector(env, allocator=harness.allocator,
+                             fabric=harness.fabric)
+    injector.install_failure_hook()
+    victim = members["s1"]
+    kills = FaultSchedule([
+        VmKill(at=1.0, vm_index=i)
+        for i in range(len(victim.allocation.vms))
+    ])
+    injector.arm(kills, cache=victim)
+
+    # Storm arrivals: drawn up front from one seeded stream, spread
+    # across [0.9 s, 1.4 s) so the burst brackets the kill and overlaps
+    # the rebalance.
+    storm_clients = 400
+    rng = harness.rngs.stream("chaos-storm")
+    arrivals = sorted(0.9 + float(rng.uniform(0.0, 0.5))
+                      for _ in range(storm_clients))
+    storm = {"completed": 0, "read_failures": 0}
+
+    def storm_proc(index: int, at: float):
+        host = host_eps[index % len(host_eps)]
+        target = index % len(server_eps)
+        yield env.timeout(at)
+        session = yield from plane.open_session(host, server_eps[target])
+        pool = plane.pool(host, server_eps[target])
+        for _ in range(2):
+            if not session.open:
+                break  # pool reclaimed under us (remote died)
+            completion = yield pool.session_read(
+                session, scratch[target].token, 0, PROBE_BYTES)
+            if not completion.ok:
+                storm["read_failures"] += 1
+            yield env.timeout(1e-3)
+        plane.close_session(session)
+        storm["completed"] += 1
+
+    for index, at in enumerate(arrivals):
+        env.process(storm_proc(index, at), name=f"chaos-storm:{index}")
+
+    # Write-then-verify probes through the router: a write acked by the
+    # replication layer must read back intact through the kill and the
+    # rebalance -- a survivor always holds the slot.
+    counters = {"acked": 0, "verified": 0, "lost": 0, "i": 0}
+    record_bytes = 128
+
+    def probe():
+        done = env.event()
+
+        def body():
+            index = counters["i"]
+            counters["i"] += 1
+            addr = (index % 8) * (1 << 14) + 4096
+            payload = bytes([(index + j) % 251 for j in range(record_bytes)])
+            started = env.now
+            wrote = yield router.write(addr, payload)
+            if not wrote.ok:
+                # Never acked: an unavailable probe, not a lost write.
+                done.succeed(type(wrote)(ok=False, error=wrote.error,
+                                         latency=env.now - started))
+                return
+            counters["acked"] += 1
+            read = yield router.read(addr, record_bytes)
+            if read.ok and read.data == payload:
+                counters["verified"] += 1
+            else:
+                counters["lost"] += 1
+                read = type(read)(
+                    ok=False,
+                    error=read.error or "acked write read back wrong")
+            done.succeed(type(read)(ok=read.ok, data=read.data,
+                                    error=read.error,
+                                    latency=env.now - started))
+
+        env.process(body(), name=f"chaos-storm-probe-{counters['i']}")
+        return done
+
+    stats = _ProbeStats(SLO.max_latency)
+    env.process(_probe_loop(env, probe, stats, interval_s=2e-3, until=3.0),
+                name="chaos-probe")
+    env.run(until=4.0)
+
+    rebalance = router.reports[-1] if router.reports else None
+    pool_stats = [plane.pools[key].stats() for key in sorted(plane.pools)]
+    return _finish(
+        "conn-storm-rebalance", seed, harness, injector, registry, stats,
+        {"members_after": float(len(router.members)),
+         "rebalances": float(len(router.reports)),
+         "lost_slots": (float(rebalance.lost_slots) if rebalance else 0.0),
+         "acked_writes": float(counters["acked"]),
+         "verified_reads": float(counters["verified"]),
+         "lost_acked_writes": float(counters["lost"]),
+         "storm_sessions": float(storm_clients),
+         "storm_completed": float(storm["completed"]),
+         "storm_read_failures": float(storm["read_failures"]),
+         "sessions_opened": float(sum(s["opened"] for s in pool_stats)),
+         "qps_created": float(sum(s["qps_created"] for s in pool_stats)),
+         "qps_reclaimed": float(sum(s["qps_reclaimed"]
+                                    for s in pool_stats)),
+         "demux_misroutes": float(sum(s["demux_misroutes"]
+                                      for s in pool_stats)),
+         "cplane_log_events": float(len(plane.log))})
+
+
 SCENARIOS: Dict[str, Callable[[int], ChaosReport]] = {
     "spot-churn": _spot_churn,
     "spot-evict-programs": _spot_evict_programs,
@@ -560,6 +718,7 @@ SCENARIOS: Dict[str, Callable[[int], ChaosReport]] = {
     "noisy-neighbor": _noisy_neighbor,
     "shard-churn": _shard_churn,
     "slow-node": _slow_node,
+    "conn-storm-rebalance": _conn_storm_rebalance,
 }
 
 

@@ -16,6 +16,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
+from repro.hardware.nic import QpContextCache
 from repro.hardware.profiles import (
     SWITCH_HOPS_INTER_CLUSTER,
     SWITCH_HOPS_INTRA_CLUSTER,
@@ -76,6 +77,31 @@ class Endpoint:
         #: at one completes in error and the data path falls back to the
         #: classic two-hop sequence.
         self.supports_programs = True
+        #: On-NIC QP-context (ICM) cache.  ``None`` -- the historical
+        #: default -- models an always-resident context (no per-QP NIC
+        #: state pressure); control-plane modeling installs an LRU of
+        #: ``NicSpec.qp_context_cache_entries`` and every verb through
+        #: this NIC then touches it (see ``QueuePair._execute``).
+        self.qp_context_cache: Optional[QpContextCache] = None
+        #: Installed verb-program descriptor shapes (see
+        #: ``repro.net.programs.ProgramShapeCache``).  ``None`` until
+        #: control-plane modeling is enabled; then program descriptors
+        #: whose shape is already installed at this responder ride a
+        #: compact wire reference instead of the full descriptor.
+        self.program_shapes = None
+        if fabric.model_control_plane:
+            self.enable_control_plane_model()
+
+    def enable_control_plane_model(self) -> None:
+        """Install the per-NIC control-plane state (QP-context cache +
+        program-shape cache) on this endpoint.  Idempotent."""
+        if self.qp_context_cache is None:
+            self.qp_context_cache = QpContextCache(
+                self.fabric.profile.nic.qp_context_cache_entries)
+        if self.program_shapes is None:
+            from repro.net.programs import ProgramShapeCache
+
+            self.program_shapes = ProgramShapeCache()
 
     def register(self, region: MemoryRegion) -> MemoryRegion:
         """Register a memory region with this NIC.
@@ -90,10 +116,37 @@ class Endpoint:
         self.regions[region.region_id] = region
         return region
 
+    def register_timed(self, region: MemoryRegion
+                       ) -> Generator[Event, None, MemoryRegion]:
+        """Process: register ``region``, charging the NIC's registration
+        latency first (base + size-proportional pinning cost).
+
+        The synchronous :meth:`register` keeps the historical free
+        path; control-plane-aware callers (``repro.cplane``, the
+        connect storm) go through this one so registration cost lands
+        on the session-establishment critical path, where Swift
+        measures it.
+        """
+        nic = self.fabric.profile.nic
+        yield self.fabric.env.timeout(nic.mr_register_latency(region.size))
+        self.fabric.note_mr_registration(region.size)
+        return self.register(region)
+
     def deregister(self, region_id: int) -> None:
         region = self.regions.pop(region_id, None)
         if region is not None:
             region.revoke()
+
+    def drop_qp(self, qp) -> None:
+        """Forget one queue pair (QP reclaim path).  Without this, the
+        ``qps`` registry grows forever across client churn -- the
+        region/QP token leak the control-plane PR fixes."""
+        try:
+            self.qps.remove(qp)
+        except ValueError:
+            pass
+        if self.qp_context_cache is not None:
+            self.qp_context_cache.evict(qp.qp_id)
 
     def find_region(self, region_id: int) -> Optional[MemoryRegion]:
         return self.regions.get(region_id)
@@ -117,9 +170,17 @@ class Endpoint:
 class Fabric:
     """The data-center network connecting all endpoints."""
 
-    def __init__(self, env: Environment, profile: TestbedProfile):
+    def __init__(self, env: Environment, profile: TestbedProfile,
+                 model_control_plane: bool = False):
         self.env = env
         self.profile = profile
+        #: Charge RDMA control-plane costs (QP create/connect handshake,
+        #: registration latency, QP-context cache pressure).  Off by
+        #: default: the paper's long-lived-client experiments assume an
+        #: amortized control plane, and their calibration must not move.
+        #: ``repro.cplane.ControlPlane`` flips it (and retrofits already
+        #: -created endpoints) when it attaches to a fabric.
+        self.model_control_plane = model_control_plane
         self._endpoints: Dict[str, Endpoint] = {}
         #: Shared rack-uplink serializers, created lazily per rack when
         #: the profile declares finite uplink bandwidth.
@@ -131,6 +192,14 @@ class Fabric:
         #: Per-run region-id / token-key sources (see Endpoint.register).
         self._region_ids = itertools.count(1)
         self._token_keys = itertools.count(0x1000)
+        #: Per-run QP-id source: context-cache keys and the cplane event
+        #: log carry QP ids, so like region ids they must be scoped to
+        #: the fabric (not a module global) to replay bit-identically.
+        self._qp_ids = itertools.count(1)
+        #: Lifetime control-plane accounting (registration work done
+        #: through the timed path).
+        self.mr_registrations = 0
+        self.mr_registered_bytes = 0
         # Memoized pure-profile costs, keyed by hop count / payload size.
         # The profile is immutable, so the cached floats are the exact
         # values the methods return; transmit() runs once per simulated
@@ -152,6 +221,22 @@ class Fabric:
     def issue_region_identity(self) -> tuple[int, int]:
         """Next (region_id, token_key) pair for a region registration."""
         return next(self._region_ids), next(self._token_keys)
+
+    def issue_qp_id(self) -> int:
+        """Next queue-pair id (per-run counter; see ``_qp_ids``)."""
+        return next(self._qp_ids)
+
+    def note_mr_registration(self, region_bytes: int) -> None:
+        """Account one timed memory registration."""
+        self.mr_registrations += 1
+        self.mr_registered_bytes += region_bytes
+
+    def enable_control_plane_model(self) -> None:
+        """Turn on control-plane cost modeling, retrofitting endpoints
+        created before the switch was flipped.  Idempotent."""
+        self.model_control_plane = True
+        for endpoint in self._endpoints.values():
+            endpoint.enable_control_plane_model()
 
     def link_utilization(self, endpoint_name: str) -> float:
         """Fraction of simulated time ``endpoint_name``'s tx link spent

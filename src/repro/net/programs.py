@@ -38,7 +38,9 @@ __all__ = [
     "PROGRAM_HEADER_BYTES",
     "PROGRAM_STATUS_BYTES",
     "ProgramError",
+    "ProgramShapeCache",
     "ProgramStep",
+    "SHAPE_REFERENCE_BYTES",
     "STEP_DESCRIPTOR_BYTES",
     "StepOp",
     "StepResult",
@@ -63,6 +65,11 @@ PROGRAM_STATUS_BYTES = 8
 
 #: CAS operands are a single machine word.
 CAS_WORD_BYTES = 8
+
+#: Wire bytes of a compact reference to an already-installed program
+#: shape (shape id + generation), replacing the per-step descriptors
+#: when the responder has the shape cached.
+SHAPE_REFERENCE_BYTES = 8
 
 
 class ProgramError(ValueError):
@@ -234,6 +241,38 @@ class VerbProgram:
         return sum(step.length for step in self.steps
                    if step.op is StepOp.WRITE)
 
+    @property
+    def shape_key(self) -> Tuple:
+        """Structural identity of this program: everything the remote
+        NIC needs to pre-compile the chain, *excluding* per-request
+        operands (offsets, payloads, compare words).
+
+        Two dependent GETs for different keys share a shape; the first
+        posts the full descriptor, later ones a compact reference (see
+        :class:`ProgramShapeCache`).  Hashable and deterministic --
+        built only from enum values and small ints.
+        """
+        return tuple(
+            (step.op.value, step.length, step.offset_from,
+             step.compare_from, step.data is not None,
+             step.compare is not None)
+            for step in self.steps)
+
+    @property
+    def cached_request_wire_bytes(self) -> int:
+        """Request size when the responder already holds this shape:
+        header + shape reference + per-step operands (a u64 offset per
+        step plus inline WRITE/CAS payloads) instead of the full
+        per-step descriptors."""
+        operand_bytes = 0
+        for step in self.steps:
+            operand_bytes += CAS_WORD_BYTES  # offset / fallback offset
+            if step.op is StepOp.WRITE and step.length:
+                operand_bytes += step.length
+            elif step.op is StepOp.CAS:
+                operand_bytes += 2 * CAS_WORD_BYTES
+        return PROGRAM_HEADER_BYTES + SHAPE_REFERENCE_BYTES + operand_bytes
+
     @classmethod
     def dependent_read(cls, *, pointer_offset: int, read_bytes: int,
                        pointer_bytes: int = CAS_WORD_BYTES,
@@ -261,6 +300,52 @@ class VerbProgram:
             steps.append(ProgramStep(op=StepOp.CAS, offset=pointer_offset,
                                      length=CAS_WORD_BYTES, compare_from=0))
         return cls(steps=tuple(steps), label=label)
+
+
+class ProgramShapeCache:
+    """Per-endpoint registry of installed program shapes.
+
+    The first program of a given :attr:`VerbProgram.shape_key` posted to
+    an endpoint ships the full per-step descriptors and *installs* the
+    shape at the responder NIC; every later program with the same shape
+    -- from any connection, which is what makes pooled QPs amortize
+    descriptor cost across sessions -- sends only a compact reference
+    plus operands (:attr:`VerbProgram.cached_request_wire_bytes`).
+
+    Deterministic: insertion-ordered dict keyed by the structural shape
+    tuple; ids are assigned in first-install order.
+    """
+
+    __slots__ = ("installs", "hits", "_shapes")
+
+    def __init__(self) -> None:
+        self.installs = 0
+        self.hits = 0
+        #: shape_key -> shape id, in install order.
+        self._shapes: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def __contains__(self, shape_key: Tuple) -> bool:
+        return shape_key in self._shapes
+
+    def install(self, shape_key: Tuple) -> bool:
+        """Look up (and install on miss) one shape; True when it was
+        already installed -- i.e. the request may use the compact form."""
+        if shape_key in self._shapes:
+            self.hits += 1
+            return True
+        self._shapes[shape_key] = len(self._shapes)
+        self.installs += 1
+        return False
+
+    def shape_id(self, shape_key: Tuple) -> Optional[int]:
+        return self._shapes.get(shape_key)
+
+    def stats(self) -> dict:
+        return {"shapes": len(self._shapes), "installs": self.installs,
+                "hits": self.hits}
 
 
 def resolve_offset(step: ProgramStep,

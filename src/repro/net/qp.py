@@ -37,10 +37,20 @@ class QueuePairError(Exception):
 
 
 class QueuePair:
-    """A reliable connection between two endpoints."""
+    """A reliable connection between two endpoints.
+
+    By default a QP is born established -- the historical model, where
+    connection setup is free and amortized away (long-lived clients).
+    ``deferred=True`` creates the QP *unconnected*: it must go through
+    :meth:`establish` (QP create + state transitions + out-of-band
+    handshake RTTs, all charged in simulated time) before the first
+    verb launches.  A post on an unestablished QP queues in the backlog
+    and triggers establishment lazily -- first use connects, which is
+    what ``repro.cplane``'s pooled-lazy strategy builds on.
+    """
 
     def __init__(self, env: Environment, local: Endpoint, remote: Endpoint,
-                 max_depth: int):
+                 max_depth: int, deferred: bool = False):
         if max_depth < 1:
             raise QueuePairError(f"max_depth must be >= 1, got {max_depth}")
         nic_limit = local.fabric.profile.nic.max_queue_depth
@@ -51,11 +61,23 @@ class QueuePair:
         self.local = local
         self.remote = remote
         self.max_depth = max_depth
+        #: Per-run id: the key NIC context caches and the cplane event
+        #: log identify this QP by.
+        self.qp_id = local.fabric.issue_qp_id()
         self._in_flight = 0
         self._wr_seq = 0
         self._backlog: Deque[tuple[WorkRequest, Event]] = deque()
         #: Completions pending in-order delivery, keyed by arrival.
         self._connected = True
+        #: Whether the connection handshake has completed.  Established
+        #: immediately unless ``deferred``.
+        self._established = not deferred
+        self._establishing: Optional[Event] = None
+        #: Simulated instant establishment completed (None = never).
+        self.established_at: Optional[float] = env.now if not deferred else None
+        #: Fast-teardown flag: a reclaimed QP is gone from its
+        #: endpoints' registries and can never be re-established.
+        self.reclaimed = False
         #: Transient error state (RDMA "QP in error"): posts flush with
         #: error completions instead of raising, until :meth:`reconnect`.
         self._error_state: Optional[str] = None
@@ -73,6 +95,10 @@ class QueuePair:
             self._program_steps = metrics.counter("qp.program_steps")
             self._program_cas_aborts = metrics.counter(
                 "qp.program_cas_aborts")
+            self._context_misses = metrics.counter("qp.context_misses")
+            self._establishments = metrics.counter("qp.establishments")
+            self._establish_latency = metrics.histogram(
+                "qp.establish_latency")
         else:
             self._wire_latency = None
             self._ops_posted = None
@@ -81,6 +107,9 @@ class QueuePair:
             self._programs_posted = None
             self._program_steps = None
             self._program_cas_aborts = None
+            self._context_misses = None
+            self._establishments = None
+            self._establish_latency = None
 
     @property
     def in_flight(self) -> int:
@@ -89,6 +118,100 @@ class QueuePair:
     @property
     def backlog_length(self) -> int:
         return len(self._backlog)
+
+    @property
+    def established(self) -> bool:
+        return self._established
+
+    def establish(self, batched: bool = False) -> Event:
+        """Connect a deferred QP; returns an event firing with True on
+        success (False when the handshake failed).
+
+        Charges the full control-plane bill: QP create + the RESET->
+        INIT->RTR->RTS transitions through the NIC command interface,
+        then ``connect_handshake_rtts`` out-of-band round trips across
+        the fabric.  ``batched=True`` applies the shared command-queue
+        doorbell discount to the create/modify portion (Swift-style
+        batched connect); the handshake RTTs are per-connection either
+        way.  Idempotent: an established QP answers immediately, a
+        mid-handshake QP returns the in-progress event.
+        """
+        if self.reclaimed:
+            raise QueuePairError("establish() on a reclaimed queue pair")
+        env = self.env
+        if self._established:
+            done = env.event()
+            done.succeed(True)
+            return done
+        if self._establishing is not None:
+            return self._establishing
+        self._establishing = env.event()
+        env.process(
+            self._establish_process(batched),
+            name=f"qp-establish:{self.local.name}->{self.remote.name}"
+                 f":{self.qp_id}")
+        return self._establishing
+
+    def _establish_process(self, batched: bool):
+        local, remote = self.local, self.remote
+        fabric = local.fabric
+        nic = fabric.profile.nic
+        env = self.env
+        started = env.now
+        # CREATE_QP + MODIFY_QP transitions through the command queue.
+        yield env.timeout(nic.qp_setup_cpu_latency(batched))
+        ok = local.alive
+        # Out-of-band CM handshake: REQ/REP (+RTU) round trips.
+        for _ in range(nic.connect_handshake_rtts):
+            if not (local.alive and remote.alive):
+                ok = False
+                break
+            yield from fabric.transmit(local, remote,
+                                       nic.connect_message_bytes)
+            if not remote.alive:
+                ok = False
+                break
+            yield from fabric.transmit(remote, local,
+                                       nic.connect_message_bytes)
+        self._established = True
+        event, self._establishing = self._establishing, None
+        if ok:
+            self.established_at = env.now
+            # The fresh contexts are resident on both NICs.
+            if local.qp_context_cache is not None:
+                local.qp_context_cache.touch(self.qp_id)
+            if remote.qp_context_cache is not None:
+                remote.qp_context_cache.touch(self.qp_id)
+            if self._establishments is not None:
+                self._establishments.inc()
+                self._establish_latency.observe(env.now - started)
+            self._drain_backlog()
+        else:
+            # Handshake failed: the QP lands in the error state, like a
+            # REQ that times out; queued posts flush with errors.
+            self.inject_error("connect failed: endpoint down")
+        if event is not None:
+            event.succeed(ok)
+
+    def reclaim(self) -> None:
+        """Fast teardown: destroy the QP and release its NIC state.
+
+        Queued-but-unsent requests flush with error completions (as in
+        :meth:`inject_error` -- late posters get completion-with-error,
+        never an exception, because pooled callers may race a harvest);
+        the QP is removed from both endpoints' registries and its
+        context evicted from the NIC caches.  This is the reclaim path
+        idle harvesting and storm teardown drive, and the fix for the
+        historical leak where every QP ever created stayed registered
+        on both endpoints forever.
+        """
+        if self.reclaimed:
+            return
+        self.reclaimed = True
+        self._error_state = "queue pair reclaimed"
+        self._flush_backlog(self._error_state)
+        self.local.drop_qp(self)
+        self.remote.drop_qp(self)
 
     def disconnect(self) -> None:
         """Tear the QP down; queued-but-unsent requests fail immediately.
@@ -166,6 +289,14 @@ class QueuePair:
                 self._error_completions.inc()
             completion_event.succeed(
                 self._error_completion(wr, self._error_state))
+        elif not self._established:
+            # Lazy connect: the first use of a deferred QP triggers
+            # establishment; the request waits in the send queue until
+            # the handshake completes.
+            self._backlog.append((wr, completion_event))
+            if self._backlog_depth is not None:
+                self._backlog_depth.set(len(self._backlog))
+            self.establish()
         elif self._in_flight < self.max_depth:
             self._launch(wr, completion_event)
         else:
@@ -173,6 +304,16 @@ class QueuePair:
             if self._backlog_depth is not None:
                 self._backlog_depth.set(len(self._backlog))
         return completion_event
+
+    def _drain_backlog(self) -> None:
+        """Launch queued requests up to the depth bound (post-establish)."""
+        while (self._backlog and self._connected
+               and self._error_state is None
+               and self._in_flight < self.max_depth):
+            wr, event = self._backlog.popleft()
+            self._launch(wr, event)
+        if self._backlog_depth is not None:
+            self._backlog_depth.set(len(self._backlog))
 
     def post_program(self, program: VerbProgram, token: AccessToken,
                      context: object = None,
@@ -207,6 +348,22 @@ class QueuePair:
                 wr.doorbell_batched = True
             events.append(self.post(wr))
         return events
+
+    def _context_penalty(self, endpoint: Endpoint) -> float:
+        """Touch ``endpoint``'s NIC QP-context cache for this QP.
+
+        Returns the extra service time (0.0 on a hit or when the
+        endpoint does not model context pressure).  With control-plane
+        modeling on, every verb pays this on both NICs -- the per-QP
+        state pressure that makes huge naive QP counts slow even after
+        all connections are established.
+        """
+        cache = endpoint.qp_context_cache
+        if cache is None or cache.touch(self.qp_id):
+            return 0.0
+        if self._context_misses is not None:
+            self._context_misses.inc()
+        return endpoint.fabric.profile.nic.qp_context_miss_penalty
 
     def _launch(self, wr: WorkRequest, completion_event: Event) -> None:
         self._in_flight += 1
@@ -248,6 +405,9 @@ class QueuePair:
         per_message = nic.per_message_processing
         if wr.doorbell_batched:
             per_message *= nic.doorbell_batch_discount
+        penalty = self._context_penalty(local)
+        if penalty:
+            per_message += penalty
         yield env.timeout(per_message)
 
         if wr.op is RdmaOp.PROGRAM:
@@ -273,6 +433,11 @@ class QueuePair:
             self._finish(wr, completion_event,
                          self._error_completion(wr, "remote endpoint down"))
             return
+
+        # Responder NIC looks up this QP's connection context too.
+        penalty = self._context_penalty(remote)
+        if penalty:
+            yield env.timeout(penalty)
 
         region = remote.find_region(wr.token.region_id)
         if region is None:
@@ -347,7 +512,16 @@ class QueuePair:
         if write_bytes and not nic.can_inline(write_bytes):
             yield env.timeout(nic.dma_fetch(write_bytes))
 
-        yield from fabric.transmit(local, remote, program.request_wire_bytes)
+        # Descriptor amortization: when the responder already has this
+        # program *shape* installed (any earlier connection posted it),
+        # the request carries a compact shape reference plus operands
+        # instead of the full per-step descriptors.
+        request_bytes = program.request_wire_bytes
+        shapes = remote.program_shapes
+        if shapes is not None and shapes.install(program.shape_key):
+            request_bytes = program.cached_request_wire_bytes
+
+        yield from fabric.transmit(local, remote, request_bytes)
 
         if not remote.alive:
             self._finish(wr, completion_event,
@@ -369,7 +543,7 @@ class QueuePair:
         produced: List[Optional[bytes]] = [None] * len(steps)
         results: Dict[int, StepResult] = {}
         guards: List[tuple[int, object, int]] = []
-        service = 0.0
+        service = self._context_penalty(remote)
         error: Optional[str] = None
         cas_aborted = False
         wrote = False
@@ -501,7 +675,8 @@ class QueuePair:
             return
         try:
             yield env.timeout(nic.program_step_latency
-                              + nic.dma_fetch(CAS_WORD_BYTES))
+                              + nic.dma_fetch(CAS_WORD_BYTES)
+                              + self._context_penalty(remote))
             current = region.read(wr.token, wr.remote_offset, CAS_WORD_BYTES)
             matched = (current is None or wr.compare is None
                        or current == wr.compare)

@@ -91,7 +91,8 @@ class ShardRouter:
                  max_inflight_per_shard: int = 32,
                  hedge_after_s: Optional[float] = None,
                  hotkeys: Optional[HotKeyPolicy] = None,
-                 rebalance_policy: Optional[MigrationPolicy] = None):
+                 rebalance_policy: Optional[MigrationPolicy] = None,
+                 control_plane=None):
         if not members:
             raise ValueError("router needs at least one member cache")
         if slot_bytes < 1:
@@ -155,6 +156,14 @@ class ShardRouter:
         #: nothing to stream, so reads over lost ranges silently
         #: succeed against stale survivor bytes.
         self.on_rebalance: List[Callable[[RebalanceReport], None]] = []
+        #: Optional RDMA connection control plane
+        #: (:class:`repro.cplane.ControlPlane`).  Binding it here makes
+        #: membership changes reclaim pooled QPs to departed members,
+        #: so a connection storm landing mid-rebalance cannot strand
+        #: sessions against a corpse.
+        self.control_plane = control_plane
+        if control_plane is not None:
+            control_plane.bind_router(self)
         #: Tail of the serialized membership-change chain.
         self._membership_tail: Optional[Event] = None
 

@@ -1,0 +1,100 @@
+"""Attach/detach churn must not leak control-plane state.
+
+The historical teardown path dropped the routing entries but left the
+response rings registered, the per-thread QPs on both endpoints'
+registries, and the server's request rings + response QPs alive --
+so every reattach cycle (spot eviction, migration, elastic scale-down)
+grew NIC state without bound.  These pin the fixed invariant: an
+attach/detach round trip restores both endpoints to their pre-attach
+footprint, abrupt client death included.
+"""
+
+from repro.core import RdmaConfig
+from repro.core.engine import CacheDataPath
+from repro.core.server import CacheServer
+from repro.hardware import AZURE_HPC
+from repro.net import Fabric, Placement
+from repro.sim import Environment
+from repro.sim.rng import RngRegistry
+
+
+def make_stack(config, model_control_plane=False, seed=0):
+    rngs = RngRegistry(seed)
+    env = Environment()
+    fabric = Fabric(env, AZURE_HPC,
+                    model_control_plane=model_control_plane)
+    client_ep = fabric.add_endpoint("client", Placement())
+    server_ep = fabric.add_endpoint("server", Placement())
+    server = CacheServer(env, AZURE_HPC, server_ep, rngs.stream("server"))
+    path = CacheDataPath(env, AZURE_HPC, config, client_ep,
+                         rngs.stream("client"))
+    return env, fabric, client_ep, server_ep, server, path
+
+
+def footprint(client_ep, server_ep):
+    return (len(client_ep.regions), len(client_ep.qps),
+            len(server_ep.regions), len(server_ep.qps))
+
+
+class TestAttachDetachChurn:
+    def test_one_cycle_restores_the_footprint(self):
+        config = RdmaConfig(2, 2, 4, 4)
+        _, _, client_ep, server_ep, server, path = make_stack(config)
+        before = footprint(client_ep, server_ep)
+        path.attach_server(server, n_regions=2, region_size=1 << 16)
+        assert footprint(client_ep, server_ep) != before
+        path.detach_server(server.endpoint.name)
+        # Data regions the server allocated for the client stay (they
+        # hold cache contents); rings and QPs must all be gone.
+        assert len(client_ep.regions) == before[0]
+        assert len(client_ep.qps) == before[1]
+        assert len(server_ep.qps) == before[3]
+        # Server side: request rings released, only data regions remain.
+        assert len(server_ep.regions) == before[2] + 2
+
+    def test_churn_loop_footprint_does_not_grow(self):
+        """The no-growth assertion across a 20-cycle churn loop."""
+        config = RdmaConfig(2, 2, 4, 4)
+        _, _, client_ep, server_ep, server, path = make_stack(config)
+        baselines = None
+        for cycle in range(20):
+            tokens = path.attach_server(server, n_regions=1,
+                                        region_size=1 << 16)
+            assert tokens
+            path.detach_server(server.endpoint.name)
+            server.release_region(tokens[0].region_id)
+            current = footprint(client_ep, server_ep)
+            if baselines is None:
+                baselines = current
+            assert current == baselines, f"cycle {cycle} grew state"
+        assert client_ep.qps == [] and server_ep.qps == []
+
+    def test_abrupt_client_death_releases_server_state(self):
+        """The server must not keep rings/QPs for a dead client."""
+        config = RdmaConfig(2, 2, 4, 4)
+        _, _, client_ep, server_ep, server, path = make_stack(config)
+        server_regions_before = len(server_ep.regions)
+        server_qps_before = len(server_ep.qps)
+        path.attach_server(server, n_regions=1, region_size=1 << 16)
+        client_ep.fail()
+        dropped = server.disconnect_client(client_ep)
+        assert dropped == len(path.threads)
+        # Request rings deregistered, response QPs off the registry;
+        # only the allocated data region remains.
+        assert len(server_ep.regions) == server_regions_before + 1
+        assert len(server_ep.qps) == server_qps_before
+
+    def test_churn_with_control_plane_model_uses_deferred_qps(self):
+        config = RdmaConfig(2, 2, 4, 4)
+        _, _, client_ep, server_ep, server, path = make_stack(
+            config, model_control_plane=True)
+        path.attach_server(server, n_regions=1, region_size=1 << 16)
+        # Engine QPs take the deferred path when the model is on: the
+        # connect handshake is charged lazily, not free at attach.
+        # (client_ep.qps also lists the server's response QPs, which
+        # piggyback on the connect exchange -- look at client-owned only.)
+        engine_qps = [qp for qp in client_ep.qps if qp.local is client_ep]
+        assert engine_qps
+        assert all(not qp.established for qp in engine_qps)
+        path.detach_server(server.endpoint.name)
+        assert client_ep.qps == []

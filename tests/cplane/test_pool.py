@@ -1,0 +1,242 @@
+"""QpPool: multiplexing, demux, harvesting, and churn leak-freedom."""
+
+import pytest
+
+from repro.cplane import CplaneLog, PoolPolicy, QpPool
+from repro.hardware import AZURE_HPC
+from repro.net import Fabric, MemoryRegion, Placement
+from repro.sim import Environment
+
+
+def make_pool(**policy_kwargs):
+    env = Environment()
+    fabric = Fabric(env, AZURE_HPC, model_control_plane=True)
+    client = fabric.add_endpoint("client", Placement(cluster=0, rack=0))
+    server = fabric.add_endpoint("server", Placement(cluster=0, rack=0))
+    region = server.register(MemoryRegion(1 << 16, backing=True))
+    policy = PoolPolicy(**policy_kwargs)
+    pool = QpPool(env, client, server, policy, CplaneLog())
+    return env, fabric, client, server, region, pool
+
+
+def open_n(env, pool, n):
+    def proc():
+        sessions = []
+        for _ in range(n):
+            session = yield from pool.open_session()
+            sessions.append(session)
+        return sessions
+
+    return env.run_process(proc())
+
+
+class TestMultiplexing:
+    def test_sessions_share_qps_up_to_the_policy_bound(self):
+        env, _, _, _, _, pool = make_pool(strategy="pooled",
+                                          sessions_per_qp=4)
+        sessions = open_n(env, pool, 8)
+        assert pool.qps_created == 2
+        assert pool.active_sessions == 8
+        # Deterministic least-loaded assignment: 4 sessions per QP.
+        by_qp = {}
+        for session in sessions:
+            by_qp.setdefault(session.qp_id, []).append(session.session_id)
+        assert sorted(len(ids) for ids in by_qp.values()) == [4, 4]
+
+    def test_per_client_strategy_is_one_qp_per_session(self):
+        env, _, client, _, _, pool = make_pool(strategy="per-client")
+        open_n(env, pool, 3)
+        assert pool.qps_created == 3
+        # Naive sessions register their own recv regions too.
+        assert len(client.regions) == 3
+
+    def test_oversubscription_at_the_qp_cap(self):
+        env, _, _, _, _, pool = make_pool(strategy="pooled",
+                                          sessions_per_qp=1, max_qps=1)
+        sessions = open_n(env, pool, 2)
+        assert pool.qps_created == 1
+        assert pool.oversubscriptions == 1
+        assert sessions[0].qp_id == sessions[1].qp_id
+
+    def test_assignment_is_deterministic_across_runs(self):
+        def run():
+            env, _, _, _, _, pool = make_pool(strategy="pooled",
+                                              sessions_per_qp=3)
+            sessions = open_n(env, pool, 10)
+            closed = sessions[::2]
+            for session in closed:
+                pool.close_session(session)
+            reopened = open_n(env, pool, 3)
+            return ([s.qp_id for s in sessions],
+                    [s.qp_id for s in reopened], pool.qp_ids())
+
+        assert run() == run()
+
+
+class TestDemux:
+    def test_interleaved_completions_route_by_tag(self):
+        env, _, _, _, region, pool = make_pool(strategy="pooled",
+                                               sessions_per_qp=8,
+                                               queue_depth=8)
+        region.local_write(0, b"AAAAAAAA")
+        region.local_write(4096, b"B" * 2048)
+        a, b = open_n(env, pool, 2)
+
+        def proc():
+            # The big read launches first but finishes last: the small
+            # read's completion overtakes it on the shared QP.
+            big = pool.session_read(b, region.token, 4096, 2048)
+            small = pool.session_read(a, region.token, 0, 8)
+            small_completion = yield small
+            big_completion = yield big
+            return small_completion, big_completion
+
+        small_completion, big_completion = env.run_process(proc())
+        assert small_completion.data == b"AAAAAAAA"
+        assert big_completion.data == b"B" * 2048
+        assert pool.demux_routed == 2
+        assert pool.demux_misroutes == 0
+
+    def test_user_context_is_restored_on_the_completion(self):
+        env, _, _, _, region, pool = make_pool(strategy="pooled")
+        (session,) = open_n(env, pool, 1)
+        marker = object()
+
+        def proc():
+            completion = yield pool.session_read(
+                session, region.token, 0, 8, context=marker)
+            return completion
+
+        completion = env.run_process(proc())
+        assert completion.ok
+        assert completion.context is marker
+
+    def test_submit_requires_a_bound_session(self):
+        env, _, _, _, region, pool = make_pool(strategy="pooled")
+        (session,) = open_n(env, pool, 1)
+        pool.close_session(session)
+        pool.reclaim_all(reason="test")
+        from repro.net import RdmaOp, WorkRequest
+
+        with pytest.raises(KeyError):
+            pool.submit(session, WorkRequest(RdmaOp.READ, region.token,
+                                             0, 8))
+
+
+class TestHarvest:
+    def test_idle_qps_reclaim_after_the_timeout(self):
+        env, _, client, server, _, pool = make_pool(strategy="pooled",
+                                                    sessions_per_qp=2,
+                                                    idle_timeout_s=0.1)
+        sessions = open_n(env, pool, 4)
+        for session in sessions:
+            pool.close_session(session)
+        assert pool.harvest() == 0  # not idle long enough yet
+
+        def idle():
+            yield env.timeout(0.2)
+
+        env.run_process(idle())
+        pool.warm_target = 0
+        assert pool.harvest() == 2
+        assert pool.live_qps == 0
+        assert client.qps == [] and server.qps == []
+        assert client.regions == {}  # pool recv regions deregistered
+
+    def test_warm_target_survives_the_harvest(self):
+        env, _, _, _, _, pool = make_pool(strategy="pooled",
+                                          sessions_per_qp=1,
+                                          idle_timeout_s=0.05)
+        sessions = open_n(env, pool, 3)
+        for session in sessions:
+            pool.close_session(session)
+
+        def idle():
+            yield env.timeout(0.1)
+
+        env.run_process(idle())
+        pool.warm_target = 1
+        assert pool.harvest() == 2
+        assert pool.warm_ready() == 1
+
+    def test_broken_qps_reclaim_immediately(self):
+        env, _, client, _, _, pool = make_pool(strategy="pooled",
+                                               sessions_per_qp=4,
+                                               idle_timeout_s=10.0)
+        sessions = open_n(env, pool, 2)
+        # A transport error breaks the shared QP (what the fault
+        # injector does when the remote endpoint dies).
+        client.qps[0].inject_error("link fault")
+        for session in sessions:
+            pool.close_session(session)
+        pool.warm_target = 4
+        # Dead QPs are not warm-pool material: reclaimed despite the
+        # huge idle timeout and the nonzero warm target.
+        assert pool.harvest() == 1
+        assert pool.live_qps == 0
+
+    def test_ensure_warm_preconnects_with_batching(self):
+        env, _, _, _, _, pool = make_pool(strategy="pooled")
+
+        def proc():
+            created = yield from pool.ensure_warm(3)
+            return created
+
+        assert env.run_process(proc()) == 3
+        assert pool.warm_ready() == 3
+        assert pool.establishments == 3
+        # One drain: the first pays full command cost, followers batch.
+        assert pool.batched_establishments == 2
+
+    def test_reclaim_all_closes_open_sessions(self):
+        env, _, client, server, _, pool = make_pool(strategy="pooled")
+        sessions = open_n(env, pool, 3)
+        reclaimed = pool.reclaim_all(reason="remote gone")
+        assert reclaimed == pool.qps_created
+        assert all(not session.open for session in sessions)
+        assert pool.active_sessions == 0
+        assert client.qps == [] and server.qps == []
+
+
+class TestChurnLeakFreedom:
+    def test_open_read_close_cycles_leave_no_state_behind(self):
+        """The satellite invariant: QP/region registries must not grow
+        across client churn (the historical teardown leak)."""
+        env, fabric, client, server, region, pool = make_pool(
+            strategy="pooled-lazy", sessions_per_qp=2, idle_timeout_s=0.01)
+        region.local_write(0, b"churnchurn")
+
+        def cycle():
+            session = yield from pool.open_session()
+            completion = yield pool.session_read(session, region.token,
+                                                 0, 8)
+            assert completion.ok
+            pool.close_session(session)
+            yield env.timeout(0.02)
+            pool.warm_target = 0
+            pool.harvest()
+
+        for _ in range(50):
+            env.run_process(cycle())
+            assert client.qps == []
+            assert client.regions == {}
+            # Only the test's own data region stays on the server.
+            assert list(server.regions) == [region.region_id]
+            assert server.qps == []
+        assert pool.qps_reclaimed == pool.qps_created
+        # The NIC context caches shed the reclaimed contexts too.
+        assert len(server.qp_context_cache) == 0
+
+    def test_per_client_churn_releases_recv_regions(self):
+        env, _, client, _, region, pool = make_pool(strategy="per-client")
+        for _ in range(10):
+            def cycle():
+                session = yield from pool.open_session()
+                completion = yield pool.session_read(
+                    session, region.token, 0, 4)
+                assert completion.ok
+                pool.close_session(session)
+
+            env.run_process(cycle())
+            assert client.regions == {}
+            assert client.qps == []

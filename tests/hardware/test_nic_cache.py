@@ -1,0 +1,79 @@
+"""The NIC's QP-context (ICM) cache and control-plane cost functions."""
+
+import pytest
+
+from repro.hardware import AZURE_HPC
+from repro.hardware.nic import QpContextCache
+
+NIC = AZURE_HPC.nic
+
+
+class TestQpContextCache:
+    def test_first_touch_misses_then_hits(self):
+        cache = QpContextCache(4)
+        assert cache.touch(7) is False
+        assert cache.touch(7) is True
+        assert cache.stats() == {"entries": 4, "resident": 1,
+                                 "hits": 1, "misses": 1, "evictions": 0}
+
+    def test_lru_eviction_order(self):
+        cache = QpContextCache(2)
+        cache.touch(1)
+        cache.touch(2)
+        cache.touch(1)          # 1 becomes MRU; 2 is now oldest
+        cache.touch(3)          # evicts 2, not 1
+        assert cache.resident_ids() == (1, 3)
+        assert 2 not in cache
+        assert cache.evictions == 1
+        assert cache.touch(1) is True
+
+    def test_explicit_evict_frees_the_slot(self):
+        cache = QpContextCache(1)
+        cache.touch(5)
+        cache.evict(5)
+        assert len(cache) == 0
+        assert cache.touch(6) is False
+        assert cache.evictions == 0  # explicit evicts are not pressure
+
+    def test_thrash_alternation_never_hits(self):
+        cache = QpContextCache(1)
+        for _ in range(3):
+            assert cache.touch(1) is False
+            assert cache.touch(2) is False
+        assert cache.hits == 0
+        assert cache.misses == 6
+        assert cache.evictions == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QpContextCache(0)
+
+
+class TestControlPlaneCosts:
+    def test_qp_setup_is_create_plus_transitions(self):
+        expected = (NIC.qp_create_latency
+                    + NIC.qp_state_transitions * NIC.qp_modify_latency)
+        assert NIC.qp_setup_cpu_latency() == pytest.approx(expected)
+
+    def test_batched_setup_gets_the_doorbell_discount(self):
+        full = NIC.qp_setup_cpu_latency()
+        batched = NIC.qp_setup_cpu_latency(batched=True)
+        assert batched == pytest.approx(full * NIC.connect_batch_discount)
+        assert batched < full
+
+    def test_mr_registration_scales_with_region_size(self):
+        base = NIC.mr_register_latency(0)
+        assert base == pytest.approx(NIC.mr_register_base)
+        one_gib = NIC.mr_register_latency(1 << 30)
+        assert one_gib == pytest.approx(NIC.mr_register_base
+                                        + NIC.mr_register_per_gb)
+        # Linear in bytes: half the region, half the pinning cost.
+        half = NIC.mr_register_latency(1 << 29)
+        assert (half - base) == pytest.approx((one_gib - base) / 2)
+
+    def test_profile_carries_swift_scale_constants(self):
+        # Sanity-pin the Swift-informed defaults the storm model uses.
+        assert NIC.connect_handshake_rtts >= 1
+        assert NIC.qp_context_cache_entries >= 1
+        assert 0.0 < NIC.connect_batch_discount < 1.0
+        assert NIC.qp_context_miss_penalty > 0.0

@@ -1,0 +1,93 @@
+"""Program-shape caching: descriptor amortization per endpoint."""
+
+from repro.hardware import AZURE_HPC
+from repro.net import Fabric, MemoryRegion, Placement, QueuePair
+from repro.net.programs import (
+    ProgramShapeCache,
+    SHAPE_REFERENCE_BYTES,
+    VerbProgram,
+)
+from repro.sim import Environment
+
+
+def chase(pointer_offset=64, read_bytes=32):
+    return VerbProgram.dependent_read(pointer_offset=pointer_offset,
+                                      read_bytes=read_bytes)
+
+
+class TestShapeKey:
+    def test_same_shape_different_operands_share_a_key(self):
+        # Two chases at different pointer words, same step structure.
+        assert chase(64).shape_key == chase(4096).shape_key
+
+    def test_different_shapes_get_different_keys(self):
+        assert chase(64, read_bytes=32).shape_key \
+            != chase(64, read_bytes=64).shape_key
+        verified = VerbProgram.dependent_read(pointer_offset=64,
+                                              read_bytes=32, verify=True)
+        assert verified.shape_key != chase(64, 32).shape_key
+
+    def test_cached_descriptor_is_smaller_than_the_full_one(self):
+        program = chase()
+        assert program.cached_request_wire_bytes \
+            < program.request_wire_bytes
+        # The cached form still carries the shape reference.
+        assert program.cached_request_wire_bytes >= SHAPE_REFERENCE_BYTES
+
+
+class TestShapeCache:
+    def test_first_install_misses_then_hits(self):
+        cache = ProgramShapeCache()
+        key = chase().shape_key
+        assert cache.install(key) is False
+        assert cache.install(key) is True
+        assert cache.install(chase(4096).shape_key) is True  # same shape
+        assert cache.stats() == {"shapes": 1, "installs": 1, "hits": 2}
+
+    def test_distinct_shapes_get_distinct_ids(self):
+        cache = ProgramShapeCache()
+        key_a = chase(64, 32).shape_key
+        key_b = chase(64, 64).shape_key
+        cache.install(key_a)
+        cache.install(key_b)
+        assert cache.shape_id(key_a) != cache.shape_id(key_b)
+        assert len(cache) == 2
+        assert key_a in cache and key_b in cache
+
+
+class TestWireAmortization:
+    def test_repeat_programs_ship_fewer_request_bytes(self):
+        """With the control-plane model on, the second identical-shape
+        program to an endpoint rides the compact cached descriptor."""
+        import struct
+
+        from repro.obs.metrics import MetricsRegistry
+
+        env = Environment()
+        metrics = MetricsRegistry().install(env)
+        fabric = Fabric(env, AZURE_HPC, model_control_plane=True)
+        client = fabric.add_endpoint("client", Placement(cluster=0, rack=0))
+        server = fabric.add_endpoint("server", Placement(cluster=0, rack=0))
+        region = server.register(MemoryRegion(1 << 16, backing=True))
+        region.local_write(4096, b"x" * 32)
+        region.local_write(64, struct.pack("<Q", 4096))
+        qp = QueuePair(env, client, server, max_depth=4)
+        program = chase()
+        moved = metrics.counter("fabric.bytes")
+
+        def run_one():
+            def proc():
+                completion = yield qp.post_program(program, region.token)
+                assert completion.ok
+
+            before = moved.value
+            env.run_process(proc())
+            return moved.value - before
+
+        first = run_one()
+        second = run_one()
+        assert server.program_shapes.stats()["installs"] == 1
+        assert server.program_shapes.stats()["hits"] == 1
+        saved = program.request_wire_bytes \
+            - program.cached_request_wire_bytes
+        assert first - second == saved
