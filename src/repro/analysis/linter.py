@@ -14,32 +14,56 @@ Pure-stdlib static analysis with repository-specific determinism rules
   fields;
 * **D006** ``json.dumps`` without ``sort_keys=True`` feeding a digest.
 
+On top of the lexical D rules, two control-flow-sensitive families run
+over per-function CFGs built by :mod:`repro.analysis.flow` (exception
+and interrupt edges included; catalog in ``docs/lifecycle-rules.md``):
+
+* **L001-L006** resource lifecycles: QP reclaim on every path, callback
+  detach, registry-owned metrics, admission-reservation release,
+  ``acquire``/``release`` pairing, spawn join
+  (:mod:`repro.analysis.lifecycle`);
+* **P001-P004** call-order protocols: connect→post→reclaim,
+  plan→execute-once, degrade→flush→re-promote, build→seal→post
+  (:mod:`repro.analysis.protocols`).
+
 Suppress a deliberate exception on its own line::
 
     started = perf_counter()  # repro-lint: disable=D001 -- wall timing
+    slot = pool.acquire()     # repro-lint: disable=D001,L005 -- multiple
+    hook = attach()           # repro-lint: disable=L* -- family glob
 
 The linter resolves import aliases (``import numpy as np``, ``from time
-import perf_counter as pc``) so renamed entry points are still caught,
-and infers set-typed locals/attributes from their assignments so
+import perf_counter as pc``) and local assignment aliases
+(``_clock = time.perf_counter``) so renamed entry points are still
+caught, infers set-typed locals/attributes from their assignments so
 ``shards = set(...); for s in shards:`` is a finding even though the
-loop itself mentions no set.
+loop itself mentions no set, and consults the module call graph so a
+blocking helper is charged at its sim-process call site.
 """
 
 from __future__ import annotations
 
 import ast
+import fnmatch
 import pathlib
 import re
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple, Union)
 
+from repro.analysis import flow
+from repro.analysis.flow import Resolver
+from repro.analysis.lifecycle import analyze_lifecycle
+from repro.analysis.protocols import analyze_protocols
 from repro.analysis.report import Finding
 from repro.analysis.rules import RULES
 
-__all__ = ["lint_paths", "lint_source"]
+__all__ = ["expand_rules", "lint_paths", "lint_source"]
 
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable(?:=(?P<ids>[A-Z0-9,\s]+))?")
+    r"#\s*repro-lint:\s*disable(?:=(?P<ids>[A-Z0-9*?,\s]+))?")
+
+_GLOB_CHARS = ("*", "?", "[")
 
 #: Wall-clock entry points (canonical dotted names after alias resolution).
 _WALL_CLOCK = {
@@ -112,31 +136,9 @@ def _dotted(node: ast.AST) -> Optional[str]:
     return ".".join(reversed(parts))
 
 
-class _ImportTable:
-    """Alias -> canonical dotted-path resolution for one module."""
-
-    def __init__(self, tree: ast.AST):
-        self.aliases: Dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
-                        alias.name if alias.asname else
-                        alias.name.split(".")[0])
-            elif isinstance(node, ast.ImportFrom) and node.module:
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    self.aliases[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}")
-
-    def resolve(self, node: ast.AST) -> Optional[str]:
-        dotted = _dotted(node)
-        if dotted is None:
-            return None
-        head, _, rest = dotted.partition(".")
-        canonical_head = self.aliases.get(head, head)
-        return f"{canonical_head}.{rest}" if rest else canonical_head
+# The alias table moved into the flow framework so the CFG analyzers
+# share it; the historical name stays importable from here.
+_ImportTable = flow.ImportTable
 
 
 def _is_yielding(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> bool:
@@ -156,7 +158,7 @@ def _is_yielding(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> bool:
 class _SetInference:
     """Tracks which names / ``self.attr``s hold set values."""
 
-    def __init__(self, imports: _ImportTable):
+    def __init__(self, imports: Resolver):
         self._imports = imports
         self.local_names: Set[str] = set()
         self.self_attrs: Set[str] = set()
@@ -219,7 +221,7 @@ class _SetInference:
 class _Analyzer(ast.NodeVisitor):
     """One pass over a module, emitting findings into ``self.findings``."""
 
-    def __init__(self, path: str, imports: _ImportTable):
+    def __init__(self, path: str, imports: Resolver):
         self.path = path
         self.imports = imports
         self.findings: List[Finding] = []
@@ -457,24 +459,96 @@ class _Analyzer(ast.NodeVisitor):
                        "digest/fingerprint function")
 
 
+def expand_rules(rules: Iterable[str]) -> Set[str]:
+    """Expand rule ids and globs (``L*``, ``D00?``) against the
+    catalog; unknown ids and globs matching nothing raise ValueError."""
+    enabled: Set[str] = set()
+    for rule_id in rules:
+        if any(ch in rule_id for ch in _GLOB_CHARS):
+            matches = {known for known in RULES
+                       if fnmatch.fnmatchcase(known, rule_id)}
+            if not matches:
+                raise ValueError(
+                    f"rule glob {rule_id!r} matches no known rule")
+            enabled |= matches
+        elif rule_id in RULES:
+            enabled.add(rule_id)
+        else:
+            raise ValueError(f"unknown rule id(s): {rule_id}")
+    return enabled
+
+
+def _callgraph_blocking(tree: ast.Module, path: str, resolver: Resolver,
+                        findings: List[Finding]) -> None:
+    """Call-graph-aware D004: a generator process calling a module-local
+    (non-generator) helper that blocks is flagged at the call site --
+    the helper alone is legal, running it on the kernel's thread is
+    not."""
+    graph = flow.ModuleGraph(tree, resolver.imports)
+
+    def direct(_name: str, func: flow.FuncDef) -> FrozenSet[object]:
+        facts: Set[object] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = resolver.resolve(node.func)
+            if canonical and (canonical == "time.sleep"
+                              or canonical in _BLOCKING_IN_PROCESS
+                              or canonical.startswith(_BLOCKING_PREFIXES)):
+                facts.add(canonical)
+        return frozenset(facts)
+
+    summaries = graph.summarize(direct)
+    is_gen = {name: flow.statement_yields(func)
+              for name, func in graph.functions.items()}
+    rule = RULES["D004"]
+    for name, func in graph.functions.items():
+        if not is_gen[name]:
+            continue
+        cls = graph.owner_class[name]
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = graph.resolve_call(node.func, cls)
+            if callee is None or is_gen.get(callee, False):
+                continue
+            blocked = summaries.get(callee) or frozenset()
+            if not blocked:
+                continue
+            culprit = sorted(str(item) for item in blocked)[0]
+            findings.append(Finding(
+                rule="D004", severity=rule.severity, path=path,
+                line=node.lineno, col=node.col_offset,
+                message=f"{callee}() performs blocking I/O ({culprit}) "
+                        f"and is called from sim process {name}()",
+                hint=rule.hint,
+                detail={"callee": callee, "blocking": culprit}))
+
+
 def lint_source(source: str, path: str = "<memory>",
                 rules: Optional[Iterable[str]] = None) -> List[Finding]:
     """Lint one module's source text; returns unsuppressed findings."""
-    enabled = set(rules) if rules is not None else set(RULES)
-    unknown = enabled - set(RULES)
-    if unknown:
-        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    enabled = expand_rules(rules) if rules is not None else set(RULES)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Finding(rule="PARSE", severity="error", path=path,
                         line=exc.lineno or 0, col=(exc.offset or 1) - 1,
                         message=f"syntax error: {exc.msg}")]
-    analyzer = _Analyzer(path, _ImportTable(tree))
-    analyzer.visit(tree)
+    resolver = Resolver(tree)
+    findings: List[Finding] = []
+    if any(rule_id.startswith("D") for rule_id in enabled):
+        analyzer = _Analyzer(path, resolver)
+        analyzer.visit(tree)
+        findings.extend(analyzer.findings)
+        _callgraph_blocking(tree, path, resolver, findings)
+    if any(rule_id.startswith("L") for rule_id in enabled):
+        findings.extend(analyze_lifecycle(tree, path, resolver))
+    if any(rule_id.startswith("P") for rule_id in enabled):
+        findings.extend(analyze_protocols(tree, path, resolver))
     suppressions = _parse_suppressions(source)
     kept: List[Finding] = []
-    for finding in analyzer.findings:
+    for finding in findings:
         if finding.rule not in enabled:
             continue
         if _is_suppressed(finding, suppressions):
@@ -488,7 +562,10 @@ def _is_suppressed(finding: Finding,
     if finding.line not in table:
         return False
     ids = table[finding.line]
-    return ids is None or finding.rule in ids
+    if ids is None:
+        return True
+    return any(fnmatch.fnmatchcase(finding.rule, pattern)
+               for pattern in ids)
 
 
 def lint_paths(paths: Sequence[Union[str, pathlib.Path]],

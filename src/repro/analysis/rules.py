@@ -92,6 +92,116 @@ _CATALOG = (
                   "the run that produced it; hashing unsorted JSON makes "
                   "equal states fingerprint differently",
     ),
+    # -- L: resource lifecycle (repro.analysis.lifecycle) ---------------
+    Rule(
+        id="L001",
+        title="QP/endpoint acquired without reclaim on every path",
+        severity="error",
+        hint="reclaim()/disconnect() the QP in a finally, or hand it to "
+             "a long-lived owner (pool, endpoint registry) that does",
+        rationale="a dropped QueuePair stays registered on both "
+                  "endpoints forever: fault flushes walk it, NIC context "
+                  "caches churn on it, and reclaim-storm accounting "
+                  "counts phantoms",
+    ),
+    Rule(
+        id="L002",
+        title="event callback registered without a detach path",
+        severity="error",
+        hint="keep the callback handle and remove() it on the losing "
+             "branches (the AnyOf/AllOf pattern), or clear() on teardown",
+        rationale="a callback left on a long-lived event fires into dead "
+                  "contexts and pins every object it closes over -- the "
+                  "exact leak class behind the PR 6 combinator fixes",
+    ),
+    Rule(
+        id="L003",
+        title="metrics instrument constructed outside a registry",
+        severity="error",
+        hint="use registry_of(env).counter/gauge/histogram(name) so the "
+             "instrument participates in snapshots and resets",
+        rationale="a directly-constructed Counter/Gauge/Histogram is "
+                  "invisible to MetricsRegistry.snapshot(), so its "
+                  "series silently vanishes from benchmarks and gates",
+    ),
+    Rule(
+        id="L004",
+        title="admission reservation not released on the delay path",
+        severity="error",
+        hint="wrap the delay wait in try/finally with "
+             "admission.release(), so interrupts and shed-while-queued "
+             "paths drain the bounded queue",
+        rationale="a DELAY verdict holds a bounded-queue slot; leaking "
+                  "it on interrupt/exception permanently shrinks the "
+                  "tenant's admission capacity until nothing is admitted",
+    ),
+    Rule(
+        id="L005",
+        title="acquired slot/lock without finally-protected release",
+        severity="error",
+        hint="put the work after `yield x.acquire()` in try/finally "
+             "with x.release(); keep the acquire itself outside the try",
+        rationale="Process.interrupt() can fire at any later yield; "
+                  "without a finally the slot leaks and the resource's "
+                  "capacity shrinks by one forever (fault injection "
+                  "interrupts processes as a matter of course)",
+    ),
+    Rule(
+        id="L006",
+        title="sim process spawned and discarded inside a process",
+        severity="warning",
+        hint="keep the Process handle and yield/join it, or attach a "
+             "failure hook (see repro.core.guard); top-level drivers "
+             "may suppress with a reason",
+        rationale="a child process whose handle is dropped fails "
+                  "invisibly: its exception unwinds in the kernel with "
+                  "no parent to observe, join, or clean up after it",
+    ),
+    # -- P: API protocol state machines (repro.analysis.protocols) ------
+    Rule(
+        id="P001",
+        title="QueuePair protocol violation (connect -> post -> reclaim)",
+        severity="error",
+        hint="establish() a deferred QP before posting; never post or "
+             "re-establish after reclaim(); guard repeat teardown with "
+             "`if not qp.reclaimed`",
+        rationale="posting on an unestablished QP raises at runtime "
+                  "only under model_control_plane, so the bug ships "
+                  "silently; after reclaim the QP is deregistered and "
+                  "completions go nowhere",
+    ),
+    Rule(
+        id="P002",
+        title="rebalance plan not driven to execution exactly once",
+        severity="error",
+        hint="every plan_rebalance() result must flow into exactly one "
+             "rebalancer.execute(plan); drop the plan only on an "
+             "explicitly-handled abort path",
+        rationale="an unexecuted plan means the membership change never "
+                  "streams (slots silently stay put); re-executing one "
+                  "reuses single-use write gates and double-copies arcs",
+    ),
+    Rule(
+        id="P003",
+        title="tenant re-promoted without flushing the degraded mirror",
+        severity="error",
+        hint="run the dirty-chunk flush and only then set "
+             "tenant.degraded = False (see TenantTier._recovery_probe)",
+        rationale="degraded-mode writes land in the local mirror only; "
+                  "re-promoting before the flush serves stale remote "
+                  "data for every key written while degraded",
+    ),
+    Rule(
+        id="P004",
+        title="verb-program steps mutated after sealing",
+        severity="error",
+        hint="finish building the step list, seal it with "
+             "VerbProgram(tuple(steps)), and never touch the list "
+             "again; build a new program for a new shape",
+        rationale="VerbProgram snapshots the steps at construction; "
+                  "later appends never reach the wire, so the posted "
+                  "program silently diverges from the intended chain",
+    ),
 )
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _CATALOG}

@@ -379,7 +379,7 @@ class RedyCache:
                 break
             inner = self.env.event()
             kind = "d" if dependent else ("r" if is_read else "w")
-            self.env.process(
+            self.env.process(  # repro-lint: disable=L006 -- completion is observed through `inner`, yielded right below
                 self._io(is_read, addr, size, data, inner,
                          dependent=dependent, tenant=tenant),
                 name=f"redy-io-{kind}@{addr}#{attempt}")

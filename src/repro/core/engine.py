@@ -393,10 +393,13 @@ class CacheDataPath:
                     RdmaOp.WRITE, connection.request_ring_token, 0,
                     batch.wire_bytes, payload_object=batch)
                 ack = connection.qp.post(wr)
-                env.process(
+                # Both watchers are deliberately detached: they exist to
+                # observe the batch (ack bookkeeping, response timeout)
+                # and settle its per-op events themselves.
+                env.process(  # repro-lint: disable=L006 -- detached watchdog; settles batch op events itself
                     self._watch_request_ack(connection, batch, ack),
                     name="redy-client:request-ack")
-                env.process(
+                env.process(  # repro-lint: disable=L006 -- detached watchdog; settles batch op events itself
                     self._watch_response_timeout(connection, batch),
                     name="redy-client:response-timeout")
 
@@ -415,10 +418,12 @@ class CacheDataPath:
                               completion_event: Event):
         completion = yield completion_event
         yield thread.cpu.acquire()
-        cpu = self.profile.cpu
-        work = self.profile.nic.completion_poll + cpu.callback
-        yield self.env.timeout(work * self._noise())
-        thread.cpu.release()
+        try:
+            cpu = self.profile.cpu
+            work = self.profile.nic.completion_poll + cpu.callback
+            yield self.env.timeout(work * self._noise())
+        finally:
+            thread.cpu.release()
         if not self.config.numa_affinity:
             yield self.env.timeout(cpu.numa_penalty_mean * math.exp(
                 self.rng.normal(0.0, self._jitter_sigma)
@@ -447,9 +452,11 @@ class CacheDataPath:
             self._credit_wait.observe(env.now - credit_wait_started)
 
         yield thread.cpu.acquire()
-        work = cpu.batch_prepare + nic.doorbell + cpu.client_per_op
-        yield env.timeout(work * self._noise())
-        thread.cpu.release()
+        try:
+            work = cpu.batch_prepare + nic.doorbell + cpu.client_per_op
+            yield env.timeout(work * self._noise())
+        finally:
+            thread.cpu.release()
 
         supports = connection.server.endpoint.supports_programs
         use_programs = self.config.use_verb_programs and supports
@@ -484,9 +491,11 @@ class CacheDataPath:
             completion = yield from self._two_hop_read(thread, connection, op)
 
         yield thread.cpu.acquire()
-        work = nic.completion_poll + cpu.callback
-        yield env.timeout(work * self._noise())
-        thread.cpu.release()
+        try:
+            work = nic.completion_poll + cpu.callback
+            yield env.timeout(work * self._noise())
+        finally:
+            thread.cpu.release()
         if not self.config.numa_affinity:
             yield env.timeout(cpu.numa_penalty_mean * math.exp(
                 self.rng.normal(0.0, self._jitter_sigma)
@@ -514,9 +523,11 @@ class CacheDataPath:
             self._credit_wait.observe(env.now - credit_wait_started)
 
         yield thread.cpu.acquire()
-        work = cpu.batch_prepare + nic.doorbell + cpu.client_per_op
-        yield env.timeout(work * self._noise())
-        thread.cpu.release()
+        try:
+            work = cpu.batch_prepare + nic.doorbell + cpu.client_per_op
+            yield env.timeout(work * self._noise())
+        finally:
+            thread.cpu.release()
 
         if self._cas_ops_counter is not None:
             self._cas_ops_counter.inc()
@@ -527,9 +538,11 @@ class CacheDataPath:
             self._cas_mismatch_counter.inc()
 
         yield thread.cpu.acquire()
-        work = nic.completion_poll + cpu.callback
-        yield env.timeout(work * self._noise())
-        thread.cpu.release()
+        try:
+            work = nic.completion_poll + cpu.callback
+            yield env.timeout(work * self._noise())
+        finally:
+            thread.cpu.release()
         connection.credits.try_put(object())
         self._finish(op, OpResult(
             ok=completion.ok, data=completion.data, error=completion.error,
@@ -548,9 +561,11 @@ class CacheDataPath:
         # Turnaround: poll the completion, parse the pointer, build and
         # ring the doorbell for the second READ.
         yield thread.cpu.acquire()
-        work = nic.completion_poll + cpu.callback + nic.doorbell
-        yield self.env.timeout(work * self._noise())
-        thread.cpu.release()
+        try:
+            work = nic.completion_poll + cpu.callback + nic.doorbell
+            yield self.env.timeout(work * self._noise())
+        finally:
+            thread.cpu.release()
         if first.data is not None and len(first.data) >= 1:
             target = int.from_bytes(first.data[:8], "little")
         else:

@@ -107,55 +107,64 @@ def migrate_regions(cache: "RedyCache", old_server: CacheServer,
                                  cache.profile.nic.max_queue_depth))
     ingest = Resource(env, slots=1)
 
-    if not policy.pause_per_region:
-        # Unoptimized baseline: everything affected pauses for the whole
-        # migration.
+    # The migration QP is a temporary bulk pipe: reclaim it no matter
+    # how the migration ends, or it stays registered on both endpoints
+    # (fault flushes would walk it and reclaim storms would count it)
+    # long after the source VM is gone.
+    try:
+        if not policy.pause_per_region:
+            # Unoptimized baseline: everything affected pauses for the
+            # whole migration.
+            for index in region_indices:
+                _pause(index)
+
+        bytes_moved = 0
         for index in region_indices:
-            _pause(index)
+            if policy.pause_per_region:
+                _pause(index)
 
-    bytes_moved = 0
-    for index in region_indices:
-        if policy.pause_per_region:
-            _pause(index)
+            old_token = table.region(index).token
+            new_region = new_server.allocate_regions(
+                1, cache.region_bytes, backed=cache.backed)[0]
 
-        old_token = table.region(index).token
-        new_region = new_server.allocate_regions(
-            1, cache.region_bytes, backed=cache.backed)[0]
+            # Pull the region chunk by chunk; the QP pipelines up to
+            # queue_depth chunks while the ingest thread copies.
+            chunk_events = []
+            offset = 0
+            while offset < cache.region_bytes:
+                length = min(policy.chunk_bytes,
+                             cache.region_bytes - offset)
+                wr = WorkRequest(RdmaOp.READ, old_token, offset, length)
+                completion_event = qp.post(wr)
+                chunk_events.append(env.process(
+                    _ingest_chunk(env, completion_event, new_region,
+                                  offset, length, ingest, policy),
+                    name=f"migrate:r{index}:+{offset}"))
+                offset += length
+            results = yield env.all_of(chunk_events)
+            if not all(results):
+                raise RuntimeError(
+                    f"migration of region {index} failed: source VM gone")
+            bytes_moved += cache.region_bytes
+            if bytes_counter is not None:
+                bytes_counter.inc(cache.region_bytes)
 
-        # Pull the region chunk by chunk; the QP pipelines up to
-        # queue_depth chunks while the ingest thread copies.
-        chunk_events = []
-        offset = 0
-        while offset < cache.region_bytes:
-            length = min(policy.chunk_bytes, cache.region_bytes - offset)
-            wr = WorkRequest(RdmaOp.READ, old_token, offset, length)
-            completion_event = qp.post(wr)
-            chunk_events.append(env.process(
-                _ingest_chunk(env, completion_event, new_region, offset,
-                              length, ingest, policy),
-                name=f"migrate:r{index}:+{offset}"))
-            offset += length
-        results = yield env.all_of(chunk_events)
-        if not all(results):
-            raise RuntimeError(
-                f"migration of region {index} failed: source VM gone")
-        bytes_moved += cache.region_bytes
-        if bytes_counter is not None:
-            bytes_counter.inc(cache.region_bytes)
+            # Flip the region table, then resume paused writers: "After
+            # a region has been migrated, the cache client updates its
+            # region table using the new VM and resumes paused writes."
+            cache.ensure_attached(new_server)
+            cache.path.add_route(new_region.region_id,
+                                 new_server.endpoint.name)
+            table.remap(index, new_region.token, new_server.endpoint.name)
+            if policy.pause_per_region:
+                _resume(index)
 
-        # Flip the region table, then resume paused writers: "After a
-        # region has been migrated, the cache client updates its region
-        # table using the new VM and resumes paused writes."
-        cache.ensure_attached(new_server)
-        cache.path.add_route(new_region.region_id,
-                             new_server.endpoint.name)
-        table.remap(index, new_region.token, new_server.endpoint.name)
-        if policy.pause_per_region:
-            _resume(index)
-
-    if not policy.pause_per_region:
-        for index in region_indices:
-            _resume(index)
+        if not policy.pause_per_region:
+            for index in region_indices:
+                _resume(index)
+    finally:
+        if not qp.reclaimed:
+            qp.reclaim()
 
     return MigrationReport(
         regions_moved=list(region_indices), bytes_moved=bytes_moved,

@@ -171,15 +171,19 @@ class RemoteFasterStore:
         optimistic hit.
         """
         yield cpu.acquire()
-        yield self.env.timeout(self.issue_cost)
-        slot = self._start_slot(key)
-        cpu.release()
+        try:
+            yield self.env.timeout(self.issue_cost)
+            slot = self._start_slot(key)
+        finally:
+            cpu.release()
         pointer_addr = self._slot_offset(slot) + 8
         result = yield self.cache.dependent_read(pointer_addr,
                                                  self.record_size)
         yield cpu.acquire()
-        yield self.env.timeout(self.completion_cost)
-        cpu.release()
+        try:
+            yield self.env.timeout(self.completion_cost)
+        finally:
+            cpu.release()
         if result.ok and result.data is not None:
             try:
                 record_key, value = unpack_record(result.data)
@@ -226,8 +230,10 @@ class RemoteFasterStore:
                     return RemoteReadOutcome(False, error=record.error,
                                              probes=probes)
                 yield cpu.acquire()
-                yield self.env.timeout(self.completion_cost)
-                cpu.release()
+                try:
+                    yield self.env.timeout(self.completion_cost)
+                finally:
+                    cpu.release()
                 _key, value = unpack_record(record.data)
                 self.gets_probed += 1
                 if self._probe_counter is not None:
@@ -260,9 +266,11 @@ class RemoteFasterStore:
             raise ValueError("key 0 cannot be evicted (tombstone would "
                              "look like an empty slot)")
         yield cpu.acquire()
-        yield self.env.timeout(self.issue_cost)
-        slot = self._start_slot(key)
-        cpu.release()
+        try:
+            yield self.env.timeout(self.issue_cost)
+            slot = self._start_slot(key)
+        finally:
+            cpu.release()
         mask = self.capacity_slots - 1
         for _ in range(self.capacity_slots):
             result = yield self.cache.read(self._slot_offset(slot),
@@ -310,9 +318,11 @@ class RemoteFasterStore:
                 f"value is {len(value)} B, store expects {self.value_bytes}")
         from repro.faster.address import pack_record
         yield cpu.acquire()
-        yield self.env.timeout(self.issue_cost)
-        slot = self._start_slot(key)
-        cpu.release()
+        try:
+            yield self.env.timeout(self.issue_cost)
+            slot = self._start_slot(key)
+        finally:
+            cpu.release()
         mask = self.capacity_slots - 1
         for _ in range(self.capacity_slots):
             result = yield self.cache.read(self._slot_offset(slot),

@@ -137,57 +137,61 @@ class FasterKv:
     def read(self, key: int, cpu: Resource):
         """Process: read one key; returns a :class:`ReadOutcome`."""
         yield cpu.acquire()
-        address = self.index.lookup(key)
-        if address == NULL_ADDRESS:
-            yield self.env.timeout(self.costs.in_memory_read)
-            cpu.release()
-            self.reads_missing += 1
-            return ReadOutcome(found=False)
+        try:
+            address = self.index.lookup(key)
+            if address == NULL_ADDRESS:
+                yield self.env.timeout(self.costs.in_memory_read)
+                self.reads_missing += 1
+                return ReadOutcome(found=False)
 
-        if self.hlog.in_memory(address):
-            # Copy the record before yielding: a concurrent append could
-            # evict this page mid-wait (real FASTER pins it via epoch
-            # protection; copying first gives the same guarantee here).
-            blob = self.hlog.read(address, self.record_size)
-            yield self.env.timeout(
-                self.costs.in_memory_read
-                + self.value_bytes * self.costs.per_value_byte)
-            cpu.release()
-            self.reads_memory += 1
-            _key, value = unpack_record(blob)
-            return ReadOutcome(found=True, value=value, served_by="memory")
+            if self.hlog.in_memory(address):
+                # Copy the record before yielding: a concurrent append
+                # could evict this page mid-wait (real FASTER pins it via
+                # epoch protection; copying first gives the same
+                # guarantee here).
+                blob = self.hlog.read(address, self.record_size)
+                yield self.env.timeout(
+                    self.costs.in_memory_read
+                    + self.value_bytes * self.costs.per_value_byte)
+                self.reads_memory += 1
+                _key, value = unpack_record(blob)
+                return ReadOutcome(found=True, value=value,
+                                   served_by="memory")
 
-        # Asynchronous device path: issue, release the thread while the
-        # I/O is in flight, then pay completion costs.
-        yield self.env.timeout(self.costs.async_issue)
-        cpu.release()
+            # Asynchronous device path: issue, release the thread while
+            # the I/O is in flight, then pay completion costs.
+            yield self.env.timeout(self.costs.async_issue)
+        finally:
+            cpu.release()
         if self.device is None:
             self.reads_missing += 1
             return ReadOutcome(found=False,
                                error="record evicted and no device")
         result = yield self.device.read(address, self.record_size)
         yield cpu.acquire()
-        serving = result.tier if result.tier is not None else self.device
-        completion = (self.costs.async_completion
-                      + serving.client_cpu_per_read
-                      + self.value_bytes * self.costs.per_value_byte)
-        yield self.env.timeout(completion)
-        if not result.ok:
+        try:
+            serving = (result.tier if result.tier is not None
+                       else self.device)
+            completion = (self.costs.async_completion
+                          + serving.client_cpu_per_read
+                          + self.value_bytes * self.costs.per_value_byte)
+            yield self.env.timeout(completion)
+            if not result.ok:
+                self.reads_missing += 1
+                return ReadOutcome(found=False, error=result.error)
+            if is_tombstone(result.data):
+                self.reads_missing += 1
+                return ReadOutcome(found=False)
+            key_read, value = unpack_record(result.data)
+            if self.copy_reads_to_tail:
+                # Promote the record so subsequent reads hit memory.
+                # Only if the index still points at the address we
+                # fetched.
+                yield self.env.timeout(self.costs.copy_to_tail)
+                new_address = self.hlog.append(result.data)
+                self.index.compare_and_update(key, address, new_address)
+        finally:
             cpu.release()
-            self.reads_missing += 1
-            return ReadOutcome(found=False, error=result.error)
-        if is_tombstone(result.data):
-            cpu.release()
-            self.reads_missing += 1
-            return ReadOutcome(found=False)
-        key_read, value = unpack_record(result.data)
-        if self.copy_reads_to_tail:
-            # Promote the record so subsequent reads hit memory.  Only
-            # if the index still points at the address we fetched.
-            yield self.env.timeout(self.costs.copy_to_tail)
-            new_address = self.hlog.append(result.data)
-            self.index.compare_and_update(key, address, new_address)
-        cpu.release()
         self.reads_device += 1
         return ReadOutcome(found=True, value=value, served_by=serving.name)
 
@@ -201,18 +205,20 @@ class FasterKv:
             raise ValueError(
                 f"value is {len(value)} B, store expects {self.value_bytes}")
         yield cpu.acquire()
-        yield self.env.timeout(self.costs.upsert
-                               + len(value) * self.costs.per_value_byte)
-        record = pack_record(key, value)
-        address = self.index.lookup(key)
-        if (address != NULL_ADDRESS
-                and self.hlog.in_mutable_region(address)):
-            self.hlog.update_in_place(address, record)
-            written_at = address
-        else:
-            written_at = self.hlog.append(record)
-            self.index.update(key, written_at)
-        cpu.release()
+        try:
+            yield self.env.timeout(self.costs.upsert
+                                   + len(value) * self.costs.per_value_byte)
+            record = pack_record(key, value)
+            address = self.index.lookup(key)
+            if (address != NULL_ADDRESS
+                    and self.hlog.in_mutable_region(address)):
+                self.hlog.update_in_place(address, record)
+                written_at = address
+            else:
+                written_at = self.hlog.append(record)
+                self.index.update(key, written_at)
+        finally:
+            cpu.release()
         if self.durable_writes and self.device is not None:
             # Commit semantics: wait for the device (the tiered device
             # acks at its commit point) while the thread serves others.
@@ -228,12 +234,14 @@ class FasterKv:
         compaction/recovery) and unhooks the index entry.
         """
         yield cpu.acquire()
-        yield self.env.timeout(self.costs.upsert)
-        existed = self.index.lookup(key) != NULL_ADDRESS
-        if existed:
-            self.hlog.append(pack_tombstone(key, self.value_bytes))
-            self.index.delete(key)
-        cpu.release()
+        try:
+            yield self.env.timeout(self.costs.upsert)
+            existed = self.index.lookup(key) != NULL_ADDRESS
+            if existed:
+                self.hlog.append(pack_tombstone(key, self.value_bytes))
+                self.index.delete(key)
+        finally:
+            cpu.release()
         return existed
 
     def rmw(self, key: int, transform, cpu: Resource):
@@ -270,18 +278,20 @@ class FasterKv:
                 break
             result = yield self.device.read(address, self.record_size)
             yield cpu.acquire()
-            yield self.env.timeout(
-                self.costs.async_completion
-                + self.value_bytes * self.costs.per_value_byte)
-            scanned += 1
-            if result.ok and not is_tombstone(result.data):
-                key, _value = unpack_record(result.data)
-                if self.index.lookup(key) == address:
-                    # Still the live version: relocate to the tail.
-                    new_address = self.hlog.append(result.data)
-                    self.index.update(key, new_address)
-                    relocated += 1
-            cpu.release()
+            try:
+                yield self.env.timeout(
+                    self.costs.async_completion
+                    + self.value_bytes * self.costs.per_value_byte)
+                scanned += 1
+                if result.ok and not is_tombstone(result.data):
+                    key, _value = unpack_record(result.data)
+                    if self.index.lookup(key) == address:
+                        # Still the live version: relocate to the tail.
+                        new_address = self.hlog.append(result.data)
+                        self.index.update(key, new_address)
+                        relocated += 1
+            finally:
+                cpu.release()
             address += self.record_size
         self.hlog.begin_address = address
         return scanned, relocated

@@ -344,7 +344,7 @@ class ShardRouter:
         backpressure queue (weighted issue order for the serving tier);
         ``tenant`` rides down to the engine for per-tenant accounting.
         """
-        yield from self._acquire(member, priority)
+        yield from self._acquire(member, priority)  # repro-lint: disable=L005 -- slot is released by the completion callback below, so abandoned hedge losers still free it
         if is_read:
             event = member.cache.read(addr, size_or_data, tenant=tenant)
             if member.reads:
@@ -380,13 +380,13 @@ class ShardRouter:
             part = self.env.event()
             parts.append(part)
             if is_read:
-                self.env.process(
+                self.env.process(  # repro-lint: disable=L006 -- fragment completion is joined via `part` in all_of below
                     self._read_fragment(slot, frag_addr, length, part,
                                         tenant, priority),
                     name=f"router-read-frag:{slot}")
             else:
                 payload = data[offset:offset + length]
-                self.env.process(
+                self.env.process(  # repro-lint: disable=L006 -- fragment completion is joined via `part` in all_of below
                     self._write_fragment(slot, frag_addr, payload, part,
                                          tenant, priority),
                     name=f"router-write-frag:{slot}")

@@ -234,7 +234,7 @@ class Event:
         elif self.callbacks is None:
             self.callbacks = [callback]
         else:
-            self.callbacks.append(callback)
+            self.callbacks.append(callback)  # repro-lint: disable=L002 -- this IS the registration primitive; detach duty lies with callers (combinators keep handles)
 
     def _notify_abandoned(self) -> None:
         """Tell the event's producer that its waiter walked away."""

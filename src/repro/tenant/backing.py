@@ -74,8 +74,10 @@ class FailOpenStore:
         """Process: serve one degraded read at storage latency."""
         self._check(addr, size)
         yield self._device.acquire()
-        yield self.env.timeout(self.access_latency_s)
-        self._device.release()
+        try:
+            yield self.env.timeout(self.access_latency_s)
+        finally:
+            self._device.release()
         self.reads += 1
         return bytes(self._bytes[addr:addr + size])
 
@@ -83,8 +85,10 @@ class FailOpenStore:
         """Process: apply one write-through write at storage latency."""
         self._check(addr, len(data))
         yield self._device.acquire()
-        yield self.env.timeout(self.access_latency_s)
-        self._device.release()
+        try:
+            yield self.env.timeout(self.access_latency_s)
+        finally:
+            self._device.release()
         self._bytes[addr:addr + len(data)] = data
         self.writes += 1
         return True

@@ -356,23 +356,30 @@ class TenantTier:
         arrival = self.env.now
         if verdict != ADMIT:
             # Token reserved: sleep until it matures, FIFO per tenant.
-            yield self.env.timeout(wait)
-            tenant.admission.release()
+            # The reservation holds a bounded-queue slot, so it must
+            # drain even when fault injection interrupts the sleep --
+            # otherwise the tenant's admission capacity shrinks forever.
+            try:
+                yield self.env.timeout(wait)
+            finally:
+                tenant.admission.release()
         if tenant.degraded:
             yield from self._serve_degraded(tenant, is_read, addr, size,
                                             data, done, arrival)
             return
         yield from self._acquire_slot(tenant)
-        gaddr = tenant.base + addr
-        if is_read:
-            result = yield self.router.read(gaddr, size,
-                                            tenant=tenant.spec.name,
-                                            priority=tenant.weight)
-        else:
-            result = yield self.router.write(gaddr, data,
-                                             tenant=tenant.spec.name,
-                                             priority=tenant.weight)
-        self._release_slot(tenant)
+        try:
+            gaddr = tenant.base + addr
+            if is_read:
+                result = yield self.router.read(gaddr, size,
+                                                tenant=tenant.spec.name,
+                                                priority=tenant.weight)
+            else:
+                result = yield self.router.write(gaddr, data,
+                                                 tenant=tenant.spec.name,
+                                                 priority=tenant.weight)
+        finally:
+            self._release_slot(tenant)
         if result.ok:
             if not is_read:
                 # Ack-path mirror: the backing store sees every

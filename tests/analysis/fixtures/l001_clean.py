@@ -1,0 +1,17 @@
+"""Lint fixture: L001 clean -- reclaimed in finally, or ownership handed off."""
+
+from repro.net.qp import QueuePair
+
+
+def reclaimed(env, a, b):
+    qp = QueuePair(env, a, b)
+    try:
+        qp.post("read", 64)
+    finally:
+        qp.reclaim()
+
+
+class Pool:
+    def adopt(self, env, a, b):
+        qp = QueuePair(env, a, b)
+        self.members.append(qp)

@@ -1,0 +1,8 @@
+"""Lint fixture: L001 deliberate leak with a reasoned suppression."""
+
+from repro.net.qp import QueuePair
+
+
+def leak_on_purpose(env, a, b):
+    qp = QueuePair(env, a, b)  # repro-lint: disable=L001 -- leak-injection scenario
+    return None

@@ -1,0 +1,13 @@
+"""Lint fixture: L001 QP acquired without reclaim (2 findings)."""
+
+from repro.net.qp import QueuePair
+
+
+def dropped(env, a, b):
+    qp = QueuePair(env, a, b)
+    return None
+
+
+def dropped_from_factory(env, endpoint):
+    qp = endpoint.create_qp()
+    return None

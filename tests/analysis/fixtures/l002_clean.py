@@ -1,0 +1,15 @@
+"""Lint fixture: L002 clean -- detach reachable, or the event is locally owned."""
+
+
+class Waiter:
+    def watch(self, event):
+        event.callbacks.append(self._on_fire)
+        self._armed = event
+
+    def unwatch(self):
+        self._armed.callbacks.remove(self._on_fire)
+
+    def watch_owned(self, env):
+        event = env.event()
+        event.callbacks.append(self._on_fire)
+        return event

@@ -1,0 +1,6 @@
+"""Lint fixture: L002 permanent callback with a reasoned suppression."""
+
+
+class Tracer:
+    def attach(self, event):
+        event.callbacks.append(self._trace)  # repro-lint: disable=L002 -- process-lifetime tracer

@@ -1,0 +1,9 @@
+"""Lint fixture: L002 callback registered without a detach path (2 findings)."""
+
+
+class Waiter:
+    def watch(self, event):
+        event.callbacks.append(self._on_fire)
+
+    def watch_api(self, event):
+        event.add_callback(self._on_fire)

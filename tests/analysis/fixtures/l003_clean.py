@@ -1,0 +1,10 @@
+"""Lint fixture: L003 clean -- instruments come from the registry."""
+
+from repro.obs.metrics import registry_of
+
+
+class Engine:
+    def __init__(self, env):
+        registry = registry_of(env)
+        self.hits = registry.counter("engine.hits")
+        self.lat = registry.histogram("engine.latency")

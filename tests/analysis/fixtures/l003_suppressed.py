@@ -1,0 +1,8 @@
+"""Lint fixture: L003 off-registry instrument with a reasoned suppression."""
+
+from repro.obs.metrics import Counter
+
+
+class Probe:
+    def __init__(self):
+        self.scratch = Counter("probe.scratch")  # repro-lint: disable=L003 -- throwaway unit-test probe

@@ -1,0 +1,9 @@
+"""Lint fixture: L003 instrument constructed outside a registry (2 findings)."""
+
+from repro.obs.metrics import Counter, Histogram
+
+
+class Engine:
+    def __init__(self):
+        self.hits = Counter("engine.hits")
+        self.lat = Histogram("engine.latency")

@@ -1,0 +1,25 @@
+"""Lint fixture: L004 clean -- the release is finally-protected."""
+
+ADMIT = "admit"
+
+
+def intra(env, tenant, cost):
+    verdict, wait = tenant.admission.admit(cost)
+    if verdict != ADMIT:
+        try:
+            yield env.timeout(wait)
+        finally:
+            tenant.admission.release()
+
+
+def handed_off(env, tenant, cost):
+    verdict, wait = tenant.admission.admit(cost)
+    env.process(worker(env, tenant, verdict, wait))
+
+
+def worker(env, tenant, verdict, wait):
+    if verdict != ADMIT:
+        try:
+            yield env.timeout(wait)
+        finally:
+            tenant.admission.release()

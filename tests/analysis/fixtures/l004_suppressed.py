@@ -1,0 +1,10 @@
+"""Lint fixture: L004 deliberate reservation leak with a suppression."""
+
+ADMIT = "admit"
+
+
+def shed_probe(env, tenant, cost):
+    verdict, wait = tenant.admission.admit(cost)  # repro-lint: disable=L004 -- starvation scenario leaks on purpose
+    if verdict != ADMIT:
+        yield env.timeout(wait)
+        tenant.admission.release()

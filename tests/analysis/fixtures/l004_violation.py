@@ -1,0 +1,16 @@
+"""Lint fixture: L004 reservation leaked on the delay branch (2 findings)."""
+
+ADMIT = "admit"
+
+
+def intra(env, tenant, cost):
+    verdict, wait = tenant.admission.admit(cost)
+    if verdict != ADMIT:
+        yield env.timeout(wait)
+        tenant.admission.release()
+
+
+def from_param(env, tenant, verdict, wait):
+    if verdict != ADMIT:
+        yield env.timeout(wait)
+        tenant.admission.release()

@@ -1,0 +1,20 @@
+"""Lint fixture: L005 acquire without finally-protected release (2 findings)."""
+
+
+def direct(env, window, router):
+    yield window.acquire()
+    yield router.read(1)
+    window.release()
+
+
+class Tier:
+    def request(self, env, tenant):
+        yield from self._acquire_slot(tenant)
+        yield env.timeout(1.0)
+        self._release_slot(tenant)
+
+    def _acquire_slot(self, tenant):
+        yield tenant.slots.acquire()
+
+    def _release_slot(self, tenant):
+        tenant.slots.release()

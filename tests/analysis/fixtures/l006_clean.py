@@ -1,0 +1,14 @@
+"""Lint fixture: L006 clean -- the handle is kept and joined."""
+
+
+def parent(env):
+    proc = env.process(child(env))
+    yield proc
+
+
+def top_level_driver(env):
+    env.process(child(env))
+
+
+def child(env):
+    yield env.timeout(0.5)

@@ -1,0 +1,10 @@
+"""Lint fixture: L006 fire-and-forget spawn with a reasoned suppression."""
+
+
+def parent(env):
+    env.process(child(env))  # repro-lint: disable=L006 -- telemetry probe, failure is acceptable
+    yield env.timeout(1.0)
+
+
+def child(env):
+    yield env.timeout(0.5)

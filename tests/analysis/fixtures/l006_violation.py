@@ -1,0 +1,16 @@
+"""Lint fixture: L006 spawned process handle discarded (2 findings)."""
+
+
+def parent(env):
+    env.process(child(env))
+    yield env.timeout(1.0)
+
+
+class Driver:
+    def run(self, env):
+        self.env.process(child(env))
+        yield env.timeout(1.0)
+
+
+def child(env):
+    yield env.timeout(0.5)

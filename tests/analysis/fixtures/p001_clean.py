@@ -1,0 +1,13 @@
+"""Lint fixture: P001 clean -- connect, post, reclaim, in order."""
+
+from repro.net.qp import QueuePair
+
+
+def lifecycle(env, a, b):
+    qp = QueuePair(env, a, b, deferred=True)
+    try:
+        yield from qp.establish()
+        qp.post("read", 64)
+    finally:
+        if not qp.reclaimed:
+            qp.reclaim()

@@ -1,0 +1,11 @@
+"""Lint fixture: P001 deliberate misuse with a reasoned suppression."""
+
+from repro.net.qp import QueuePair
+
+
+def error_path_probe(env, a, b):
+    qp = QueuePair(env, a, b, deferred=True)
+    try:
+        qp.post("read", 64)  # repro-lint: disable=P001 -- asserts the error completion path
+    finally:
+        qp.reclaim()

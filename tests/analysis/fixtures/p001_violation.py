@@ -1,0 +1,17 @@
+"""Lint fixture: P001 QueuePair protocol violations (2 findings)."""
+
+from repro.net.qp import QueuePair
+
+
+def post_before_establish(env, a, b):
+    qp = QueuePair(env, a, b, deferred=True)
+    try:
+        qp.post("read", 64)
+    finally:
+        qp.reclaim()
+
+
+def post_after_reclaim(env, a, b):
+    qp = QueuePair(env, a, b)
+    qp.reclaim()
+    qp.post("read", 64)

@@ -1,0 +1,8 @@
+"""Lint fixture: P002 clean -- each plan executes exactly once."""
+
+
+class Controller:
+    def once(self, env):
+        plan = self.rebalancer.plan_rebalance()
+        report = yield from self.rebalancer.execute(plan)
+        return report

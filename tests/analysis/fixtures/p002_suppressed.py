@@ -1,0 +1,7 @@
+"""Lint fixture: P002 dry-run plan with a reasoned suppression."""
+
+
+class Controller:
+    def dry_run(self):
+        plan = self.rebalancer.plan_rebalance()  # repro-lint: disable=P002 -- dry run inspects the plan only
+        return len(plan.moves)

@@ -1,0 +1,12 @@
+"""Lint fixture: P002 plan executed twice and plan dropped (2 findings)."""
+
+
+class Controller:
+    def double(self, env):
+        plan = self.rebalancer.plan_rebalance()
+        yield from self.rebalancer.execute(plan)
+        yield from self.rebalancer.execute(plan)
+
+    def dropped(self):
+        plan = self.rebalancer.plan_rebalance()
+        return None

@@ -1,0 +1,8 @@
+"""Lint fixture: P003 clean -- flush the mirror, then re-promote."""
+
+
+class Tier:
+    def recover(self, env, tenant):
+        tenant.degraded = True
+        yield from self.flush_mirror(tenant)
+        tenant.degraded = False

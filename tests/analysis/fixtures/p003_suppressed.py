@@ -1,0 +1,7 @@
+"""Lint fixture: P003 flush elision with a reasoned suppression."""
+
+
+class Tier:
+    def recover_readonly(self, tenant):
+        tenant.degraded = True
+        tenant.degraded = False  # repro-lint: disable=P003 -- read-only tenant, mirror never dirtied

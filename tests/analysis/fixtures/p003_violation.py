@@ -1,0 +1,7 @@
+"""Lint fixture: P003 re-promotion without a flush (1 finding)."""
+
+
+class Tier:
+    def recover(self, tenant):
+        tenant.degraded = True
+        tenant.degraded = False

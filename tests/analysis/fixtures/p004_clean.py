@@ -1,0 +1,20 @@
+"""Lint fixture: P004 clean -- the list is finished before sealing."""
+
+from repro.net.verbs import VerbProgram
+
+
+def build(router):
+    steps = []
+    steps.append(("read", 8))
+    steps.append(("cas", 8))
+    prog = VerbProgram(tuple(steps))
+    return prog
+
+
+def two_programs(router):
+    steps = []
+    steps.append(("read", 8))
+    first = VerbProgram(tuple(steps))
+    fresh = [("cas", 8)]
+    second = VerbProgram(tuple(fresh))
+    return first, second

@@ -1,0 +1,11 @@
+"""Lint fixture: P004 post-seal mutation with a reasoned suppression."""
+
+from repro.net.verbs import VerbProgram
+
+
+def build(router):
+    steps = []
+    steps.append(("read", 8))
+    prog = VerbProgram(tuple(steps))
+    steps.append(("cas", 8))  # repro-lint: disable=P004 -- list reused as scratch after seal, program already posted
+    return prog

@@ -1,0 +1,11 @@
+"""Lint fixture: P004 steps mutated after sealing (1 finding)."""
+
+from repro.net.verbs import VerbProgram
+
+
+def build(router):
+    steps = []
+    steps.append(("read", 8))
+    prog = VerbProgram(tuple(steps))
+    steps.append(("cas", 8))
+    return prog

@@ -17,7 +17,10 @@ RULE_IDS = sorted(RULES)
 
 #: Findings each violation fixture is built to produce.
 EXPECTED_VIOLATIONS = {"D001": 2, "D002": 3, "D003": 3,
-                       "D004": 2, "D005": 2, "D006": 2}
+                       "D004": 2, "D005": 2, "D006": 2,
+                       "L001": 2, "L002": 2, "L003": 2,
+                       "L004": 2, "L005": 2, "L006": 2,
+                       "P001": 2, "P002": 2, "P003": 1, "P004": 1}
 
 
 def findings_for(name, rules=None):
@@ -88,3 +91,87 @@ def test_shipped_tree_is_clean():
     findings, files = lint_paths([src])
     assert len(files) > 50
     assert findings == []
+
+
+def test_shipped_tree_is_clean_lifecycle_and_protocols():
+    """The L/P gate mirrors the D gate: the production tree must stay
+    free of lifecycle and protocol findings (CI runs the same filter)."""
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings, files = lint_paths([src], rules=["L*", "P*"])
+    assert len(files) > 50
+    assert findings == []
+
+
+# -- suppression comment forms -----------------------------------------
+
+
+def test_multi_rule_suppression_comment():
+    source = ("import time\n"
+              "def f(env):\n"
+              "    t = time.time()  # repro-lint: disable=D001,L002\n"
+              "    return t\n")
+    assert lint_source(source) == []
+
+
+def test_multi_rule_suppression_leaves_other_rules_armed():
+    source = ("import time\n"
+              "def f(env):\n"
+              "    t = time.time()  # repro-lint: disable=D002,D003\n"
+              "    return t\n")
+    assert [f.rule for f in lint_source(source)] == ["D001"]
+
+
+def test_rule_range_glob_suppression():
+    source = ("def f(event, cb):\n"
+              "    event.callbacks.append(cb)  # repro-lint: disable=L*\n")
+    assert lint_source(source) == []
+
+
+def test_rule_range_glob_does_not_cross_families():
+    source = ("import time\n"
+              "def f():\n"
+              "    return time.time()  # repro-lint: disable=L*,P*\n")
+    assert [f.rule for f in lint_source(source)] == ["D001"]
+
+
+# -- --rules glob expansion --------------------------------------------
+
+
+def test_rules_filter_accepts_globs():
+    findings = findings_for("l005_violation.py", rules=["L*"])
+    assert findings and {f.rule for f in findings} == {"L005"}
+    assert findings_for("l005_violation.py", rules=["P*"]) == []
+
+
+def test_rules_filter_unknown_glob_raises():
+    with pytest.raises(ValueError, match="Z\\*"):
+        lint_source("x = 1\n", rules=["Z*"])
+
+
+# -- call-graph awareness (flow.ModuleGraph) ---------------------------
+
+
+def test_local_assignment_alias_is_resolved():
+    # The historical false negative: a wall-clock callable laundered
+    # through a local binding used to dodge D001 entirely.
+    source = ("import time\n"
+              "_clock = time.perf_counter\n"
+              "def f():\n"
+              "    return _clock()\n")
+    assert [f.rule for f in lint_source(source)] == ["D001"]
+
+
+def test_blocking_helper_is_flagged_at_sim_call_site():
+    # D004 used to require the blocking call to appear lexically inside
+    # the generator; hiding it behind a local helper dodged the rule.
+    source = ("import time\n"
+              "def slow_parse(blob):\n"
+              "    time.sleep(0.01)\n"
+              "    return blob\n"
+              "def worker(env, blob):\n"
+              "    parsed = slow_parse(blob)\n"
+              "    yield env.timeout(1.0)\n"
+              "    return parsed\n")
+    findings = [f for f in lint_source(source) if f.line == 6]
+    assert [f.rule for f in findings] == ["D004"]
+    assert "slow_parse" in findings[0].message
